@@ -1,0 +1,310 @@
+(* Benchmark & experiment harness.
+
+   Running `dune exec bench/main.exe` regenerates every table and figure of
+   the reconstructed evaluation (T1-T3, F1-F5; see DESIGN.md §3 and
+   EXPERIMENTS.md) and then runs the Bechamel micro-benchmarks (B1-B3).
+   Pass `--tables-only` to skip the micro-benchmarks. *)
+
+open Ppdm
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_mining
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fopt = function None -> "   --  " | Some v -> Printf.sprintf "%7.3f" v
+
+(* Proportional ASCII bar for figure-style series. *)
+let bar ?(width = 32) value max_value =
+  if max_value <= 0. then ""
+  else begin
+    let n =
+      max 0 (min width (int_of_float (Float.round (value /. max_value *. float_of_int width))))
+    in
+    String.make n '#'
+  end
+
+let t1 () =
+  header "T1  Breach-prevention thresholds: max gamma for (rho1 -> rho2)";
+  Printf.printf "%-8s %-8s %-10s\n" "rho1" "rho2" "max gamma";
+  List.iter
+    (fun (r : Experiment.t1_row) ->
+      Printf.printf "%-8.2f %-8.2f %-10.2f\n" r.rho1 r.rho2 r.gamma_limit)
+    (Experiment.t1_breach_limits ())
+
+let t2 () =
+  header "T2  Cut-and-paste privacy profile (prior 5%, universe 1000)";
+  Printf.printf "%-4s %-6s %-4s %-10s %-12s %-10s\n" "K" "rho" "m" "kept" "posterior" "gamma";
+  List.iter
+    (fun (r : Experiment.t2_row) ->
+      Printf.printf "%-4d %-6.2f %-4d %-10.3f %-12.3f %s\n" r.cutoff r.rho r.size
+        r.kept_fraction r.worst_posterior
+        (if r.gamma = infinity then "inf" else Printf.sprintf "%.2f" r.gamma))
+    (Experiment.t2_cut_and_paste ())
+
+let t3 () =
+  header "T3  Optimized select-a-size vs cut-and-paste (prior 5%, N=100k)";
+  Printf.printf "%-4s %-7s %-8s %-9s %-10s %-9s %-9s %-9s %-9s\n" "m" "gamma"
+    "sas_rho" "sas_kept" "posterior" "cp_kept" "sig(k1)" "sig(k2)" "sig(k3)";
+  List.iter
+    (fun (r : Experiment.t3_row) ->
+      Printf.printf "%-4d %-7.1f %-8.4f %-9.3f %-10.3f %s %-9.5f %-9.5f %-9.5f\n"
+        r.size r.gamma_budget r.sas_rho r.sas_kept r.sas_posterior
+        (fopt r.cp_kept) r.sigma_k1 r.sigma_k2 r.sigma_k3)
+    (Experiment.t3_operator_comparison ())
+
+let f1 () =
+  header "F1  Predicted sigma of the support estimator vs true support (m=5, gamma=19, N=100k)";
+  Printf.printf "%-4s %-10s %-10s\n" "k" "support" "sigma";
+  List.iter
+    (fun (p : Experiment.f1_point) ->
+      Printf.printf "%-4d %-10.4f %-10.6f\n" p.k p.support p.sigma)
+    (Experiment.f1_sigma_vs_support ())
+
+let f2 () =
+  header "F2  Lowest discoverable support vs privacy level (N=100k)";
+  let points = Experiment.f2_discoverable_vs_gamma () in
+  let top =
+    List.fold_left (fun m (p : Experiment.f2_point) -> Float.max m p.discoverable) 0. points
+  in
+  Printf.printf "%-4s %-4s %-8s %-14s\n" "m" "k" "gamma" "discoverable";
+  List.iter
+    (fun (p : Experiment.f2_point) ->
+      Printf.printf "%-4d %-4d %-8.1f %-14.5f %s\n" p.size p.k p.gamma
+        p.discoverable (bar p.discoverable top))
+    points
+
+let f3 () =
+  header "F3  Predicted vs empirical sigma (Monte Carlo, planted supports)";
+  Printf.printf "%-4s %-9s %-11s %-11s %-11s %-7s\n" "k" "support" "predicted"
+    "empirical" "mean_est" "trials";
+  List.iter
+    (fun (r : Experiment.f3_row) ->
+      Printf.printf "%-4d %-9.3f %-11.5f %-11.5f %-11.5f %-7d\n" r.k r.support
+        r.predicted_sigma r.empirical_sigma r.mean_estimate r.trials)
+    (Experiment.f3_sigma_validation ())
+
+let f4 () =
+  header "F4  Privacy-preserving Apriori accuracy (Quest 100k, max itemset size 3)";
+  Printf.printf "%-7s %-9s %-9s %-6s %-6s %-6s\n" "gamma" "minsup" "frequent" "TP" "FP" "drops";
+  List.iter
+    (fun (r : Experiment.f4_row) ->
+      Printf.printf "%-7.0f %-9.3f %-9d %-6d %-6d %-6d\n" r.gamma_budget
+        r.min_support r.true_frequent r.true_positives r.false_positives
+        r.false_drops)
+    (Experiment.f4_mining_accuracy ())
+
+let f5 () =
+  header "F5  Posteriors never exceed the amplification ceiling (m=5, gamma=19)";
+  Printf.printf "%-9s %-11s %-11s %-9s %s\n" "prior" "analytic" "empirical" "ceiling" "ok";
+  List.iter
+    (fun (p : Experiment.f5_point) ->
+      Printf.printf "%-9.4f %-11.4f %-11.4f %-9.4f %s\n" p.prior
+        p.analytic_posterior p.empirical_posterior p.bound
+        (if p.empirical_posterior <= p.bound +. 0.05 then "yes" else "VIOLATION"))
+    (Experiment.f5_bound_validation ())
+
+let a1 () =
+  header "A1  Ablation: optimized select-a-size vs randomized response at matched gamma";
+  Printf.printf "%-4s %-7s %-8s %-10s %-10s %-9s %-9s\n" "m" "gamma" "rr_eps"
+    "sas_sigma" "rr_sigma" "sas_kept" "rr_kept";
+  List.iter
+    (fun (r : Experiment.a1_row) ->
+      Printf.printf "%-4d %-7.0f %-8.3f %-10.5f %-10.5f %-9.3f %-9.3f\n" r.size
+        r.gamma r.rr_epsilon r.sas_sigma_k2 r.rr_sigma_k2 r.sas_kept r.rr_kept)
+    (Experiment.a1_rr_comparison ())
+
+let a2 () =
+  header "A2  Ablation: sigma-slack exploration knob (Quest 100k, gamma=49, minsup 5%)";
+  Printf.printf "%-7s %-6s %-6s %-7s %-9s\n" "slack" "TP" "FP" "drops" "explored";
+  List.iter
+    (fun (r : Experiment.a2_row) ->
+      Printf.printf "%-7.1f %-6d %-6d %-7d %-9d\n" r.sigma_slack
+        r.true_positives r.false_positives r.false_drops r.explored)
+    (Experiment.a2_slack_ablation ())
+
+let a4 () =
+  header "A4  Ablation: inversion vs EM support recovery (planted 10%, m=5)";
+  Printf.printf "%-8s %-10s %-10s %-12s %-7s\n" "N" "inv_rmse" "em_rmse"
+    "inv_infeas" "trials";
+  List.iter
+    (fun (r : Experiment.a4_row) ->
+      Printf.printf "%-8d %-10.5f %-10.5f %-12d %-7d\n" r.count r.inv_rmse
+        r.em_rmse r.inv_infeasible r.trials)
+    (Experiment.a4_inversion_vs_em ())
+
+let e1 () =
+  header "E1  Extension: generic channel privacy/accuracy frontier (numeric, 16 bins, N=30k)";
+  Printf.printf "%-7s %-9s %-9s %-12s %-10s\n" "alpha" "gamma" "epsilon" "post@5%" "rmse";
+  let rows = Experiment.e1_channel_tradeoff () in
+  let top =
+    List.fold_left (fun m (r : Experiment.e1_row) -> Float.max m r.reconstruction_rmse) 0. rows
+  in
+  List.iter
+    (fun (r : Experiment.e1_row) ->
+      Printf.printf "%-7.2f %-9.2f %-9.3f %-12.3f %-10.5f %s\n" r.alpha r.gamma
+        r.epsilon r.posterior_bound r.reconstruction_rmse
+        (bar r.reconstruction_rmse top))
+    rows
+
+(* ------------------------------------------------- Bechamel micro-benches *)
+
+let run_benchmarks tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let ns =
+        match Analyze.OLS.estimates r with Some [ est ] -> est | _ -> Float.nan
+      in
+      if ns > 1e6 then Printf.printf "  %-44s %10.3f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "  %-44s %10.3f us/run\n" name (ns /. 1e3)
+      else Printf.printf "  %-44s %10.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let b1 () =
+  header "B1  Randomization throughput (universe 10k)";
+  let universe = 10_000 in
+  let mk_tx size =
+    let rng = Rng.create ~seed:1 () in
+    Itemset.of_sorted_array_unchecked (Dist.sample_distinct rng ~k:size ~bound:universe)
+  in
+  let bench_op name scheme size =
+    let tx = mk_tx size in
+    let rng = Rng.create ~seed:2 () in
+    Bechamel.Test.make
+      ~name:(Printf.sprintf "%s m=%d" name size)
+      (Bechamel.Staged.stage (fun () -> ignore (Randomizer.apply scheme rng tx)))
+  in
+  let tests =
+    List.concat_map
+      (fun size ->
+        let d = Optimizer.design ~m:size ~gamma:19. Optimizer.Max_kept in
+        [
+          bench_op "uniform" (Randomizer.uniform ~universe ~p_keep:0.5 ~p_add:0.001) size;
+          bench_op "cut-and-paste" (Randomizer.cut_and_paste ~universe ~cutoff:5 ~rho:0.001) size;
+          bench_op "optimized-sas"
+            (Randomizer.select_a_size ~universe ~size ~keep_dist:d.Optimizer.dist
+               ~rho:d.Optimizer.rho)
+            size;
+        ])
+      [ 5; 10 ]
+  in
+  run_benchmarks (Bechamel.Test.make_grouped ~name:"randomize" tests)
+
+let b2 () =
+  header "B2  Miner runtime: Apriori vs FP-growth vs Eclat (Quest, 5k transactions)";
+  let db = Experiment.quest_db ~count:5_000 () in
+  let tests =
+    List.concat_map
+      (fun min_support ->
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "apriori minsup=%.3f" min_support)
+            (Bechamel.Staged.stage (fun () -> ignore (Apriori.mine db ~min_support ~max_size:3)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "fp-growth minsup=%.3f" min_support)
+            (Bechamel.Staged.stage (fun () -> ignore (Fptree.mine db ~min_support ~max_size:3)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "eclat minsup=%.3f" min_support)
+            (Bechamel.Staged.stage (fun () -> ignore (Eclat.mine db ~min_support ~max_size:3)));
+        ])
+      [ 0.05; 0.02; 0.01 ]
+  in
+  run_benchmarks (Bechamel.Test.make_grouped ~name:"mine" tests)
+
+let a3 () =
+  header "A3  Ablation: trie vs dense-bitset candidate counting (universe 150)";
+  let db = Experiment.quest_db ~count:5_000 () in
+  (* restrict to a dense sub-universe so bitsets make sense *)
+  let width = Db.universe db in
+  let dense = Array.map (Bitset.of_itemset ~width) (Db.transactions db) in
+  let candidates =
+    List.filteri (fun i _ -> i < 50)
+      (List.map fst (Apriori.mine db ~min_support:0.01 ~max_size:2))
+  in
+  let dense_candidates = List.map (Bitset.of_itemset ~width) candidates in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"trie counting (50 candidates)"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Count.support_counts db candidates)));
+      Bechamel.Test.make ~name:"bitset counting (50 candidates)"
+        (Bechamel.Staged.stage (fun () ->
+             List.iter
+               (fun c ->
+                 let acc = ref 0 in
+                 Array.iter (fun tx -> if Bitset.subset c tx then incr acc) dense;
+                 ignore !acc)
+               dense_candidates));
+    ]
+  in
+  run_benchmarks (Bechamel.Test.make_grouped ~name:"counting" tests)
+
+let b3 () =
+  header "B3  Estimator cost vs itemset size (m=8, 20k transactions)";
+  let universe = 500 and size = 8 and count = 20_000 in
+  let rng = Rng.create ~seed:3 () in
+  let db = Ppdm_datagen.Simple.fixed_size rng ~universe ~size ~count in
+  let d = Optimizer.design ~m:size ~gamma:19. Optimizer.Max_kept in
+  let scheme =
+    Randomizer.select_a_size ~universe ~size ~keep_dist:d.Optimizer.dist
+      ~rho:d.Optimizer.rho
+  in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let tests =
+    List.map
+      (fun k ->
+        let itemset = Itemset.of_list (List.init k (fun i -> i * 2)) in
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "estimate k=%d" k)
+          (Bechamel.Staged.stage (fun () ->
+               ignore (Estimator.estimate ~scheme ~data ~itemset))))
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  run_benchmarks (Bechamel.Test.make_grouped ~name:"estimate" tests)
+
+(* Wall-clock per section keeps the harness honest about its own cost. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%.1fs]\n%!" (Unix.gettimeofday () -. t0)
+
+let sections =
+  [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
+    ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
+    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3) ]
+
+let () =
+  let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
+  (* --only t1,f4,... runs just the named sections (for appending to a
+     partial log or quick iteration) *)
+  let only =
+    let found = ref None in
+    Array.iteri
+      (fun i arg ->
+        if arg = "--only" && i + 1 < Array.length Sys.argv then
+          found := Some (String.split_on_char ',' Sys.argv.(i + 1)))
+      Sys.argv;
+    !found
+  in
+  (match only with
+  | Some names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt (String.lowercase_ascii name) sections with
+          | Some f -> timed f
+          | None -> Printf.eprintf "unknown section %s\n" name)
+        names
+  | None ->
+      List.iter timed [ t1; t2; t3; f1; f2; f3; f4; f5; a1; a2; a4; e1 ];
+      if not tables_only then List.iter timed [ b1; b2; a3; b3 ]);
+  print_newline ()

@@ -1,0 +1,399 @@
+(* ppdm: command-line front end for the privacy-preserving mining library.
+
+   Subcommands:
+     gen        generate a synthetic transaction database
+     randomize  apply a randomization operator (client side)
+     analyze    print the privacy certificate of an operator
+     mine       non-private Apriori over a database file
+     private    end-to-end demo: randomize + privacy-preserving mining,
+                compared against the non-private ground truth *)
+
+open Cmdliner
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_datagen
+open Ppdm_mining
+open Ppdm
+
+(* ------------------------------------------------------------ tagged io *)
+
+(* Randomized data is (original_size, itemset) pairs: the size is public
+   protocol metadata the estimator needs.  Format: header as in Io, then
+   "size|items" lines. *)
+let write_tagged path ~universe data =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "tagged %d transactions %d\n" universe (Array.length data);
+      Array.iter
+        (fun (size, items) ->
+          Printf.fprintf oc "%d|%s\n" size
+            (String.concat " "
+               (List.map string_of_int (Itemset.to_list items))))
+        data)
+
+let read_tagged path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "tagged"; u; "transactions"; c ] ->
+          let universe = int_of_string u and count = int_of_string c in
+          let data =
+            Array.init count (fun _ ->
+                let line = input_line ic in
+                match String.split_on_char '|' line with
+                | [ size; items ] ->
+                    let items =
+                      List.filter_map int_of_string_opt
+                        (String.split_on_char ' ' items)
+                    in
+                    (int_of_string size, Itemset.of_list items)
+                | _ -> failwith "malformed tagged line")
+          in
+          (universe, data)
+      | _ -> failwith "not a tagged randomized-data file")
+
+(* ------------------------------------------------------- operator specs *)
+
+type operator_spec =
+  | Op_uniform of float * float
+  | Op_cut_and_paste of int * float
+  | Op_optimized of float * float option (* gamma, fixed rho *)
+
+let scheme_of_spec ~universe = function
+  | Op_uniform (p_keep, p_add) -> Randomizer.uniform ~universe ~p_keep ~p_add
+  | Op_cut_and_paste (cutoff, rho) -> Randomizer.cut_and_paste ~universe ~cutoff ~rho
+  | Op_optimized (gamma, rho) -> (
+      match rho with
+      | None -> Optimizer.scheme_for_estimation ~universe ~gamma ()
+      | Some rho ->
+          Randomizer.per_size ~universe
+            ~name:(Printf.sprintf "optimized-sas(gamma=%g,rho=%g)" gamma rho)
+            (fun m ->
+              if m = 0 then { Randomizer.keep_dist = [| 1. |]; rho }
+              else begin
+                let objective =
+                  Optimizer.Min_sigma_upto
+                    { k_max = min 3 m; n = 100_000; p_bg = 0.02; support = 0.01 }
+                in
+                { Randomizer.keep_dist = Optimizer.keep_dist ~m ~rho ~gamma objective;
+                  rho }
+              end))
+
+let operator_term =
+  let operator =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", `Uniform); ("cutpaste", `Cutpaste); ("optimized", `Optimized) ]) `Optimized
+      & info [ "operator" ] ~doc:"Operator kind: uniform, cutpaste, or optimized.")
+  in
+  let p_keep = Arg.(value & opt float 0.5 & info [ "p-keep" ] ~doc:"uniform: keep probability.") in
+  let p_add = Arg.(value & opt float 0.05 & info [ "p-add" ] ~doc:"uniform: add probability.") in
+  let cutoff = Arg.(value & opt int 3 & info [ "cutoff" ] ~doc:"cutpaste: the K parameter.") in
+  let rho = Arg.(value & opt (some float) None & info [ "rho" ] ~doc:"noise rate (optional for optimized).") in
+  let gamma = Arg.(value & opt float 19. & info [ "gamma" ] ~doc:"optimized: amplification budget.") in
+  let build operator p_keep p_add cutoff rho gamma =
+    match operator with
+    | `Uniform -> Op_uniform (p_keep, p_add)
+    | `Cutpaste -> Op_cut_and_paste (cutoff, Option.value rho ~default:0.1)
+    | `Optimized -> Op_optimized (gamma, rho)
+  in
+  Term.(const build $ operator $ p_keep $ p_add $ cutoff $ rho $ gamma)
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (all commands are deterministic).")
+
+(* ----------------------------------------------------------------- gen *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("quest", `Quest); ("fixed", `Fixed); ("zipf", `Zipf) ]) `Quest
+      & info [ "kind" ] ~doc:"Generator: quest, fixed, or zipf.")
+  in
+  let universe = Arg.(value & opt int 1000 & info [ "universe" ] ~doc:"Number of items.") in
+  let count = Arg.(value & opt int 10000 & info [ "count" ] ~doc:"Number of transactions.") in
+  let size = Arg.(value & opt int 5 & info [ "size" ] ~doc:"fixed: transaction size; quest/zipf: average size.") in
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.") in
+  let run kind universe count size out seed =
+    let rng = Rng.create ~seed () in
+    let db =
+      match kind with
+      | `Quest ->
+          Quest.generate rng
+            {
+              Quest.default with
+              universe;
+              n_transactions = count;
+              avg_transaction_size = float_of_int size;
+            }
+      | `Fixed -> Simple.fixed_size rng ~universe ~size ~count
+      | `Zipf ->
+          Simple.zipf_clickstream rng ~universe ~exponent:1.1
+            ~avg_size:(float_of_int size) ~count
+    in
+    Io.write_file out db;
+    Printf.printf "wrote %d transactions over %d items to %s (avg size %.2f)\n"
+      (Db.length db) (Db.universe db) out (Db.avg_size db)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic transaction database.")
+    Term.(const run $ kind $ universe $ count $ size $ out $ seed_term)
+
+(* ----------------------------------------------------------- randomize *)
+
+let in_term = Arg.(required & opt (some string) None & info [ "in"; "i" ] ~doc:"Input database file.")
+
+let randomize_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output tagged file.") in
+  let scheme_out =
+    Arg.(value & opt (some string) None
+         & info [ "scheme-out" ] ~doc:"Also write the operator parameters (for the server).")
+  in
+  let run input out scheme_out spec seed =
+    let db = Io.read_file input in
+    let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
+    let rng = Rng.create ~seed () in
+    let data = Randomizer.apply_db_tagged scheme rng db in
+    write_tagged out ~universe:(Db.universe db) data;
+    Option.iter
+      (fun path ->
+        Scheme_io.write_file path scheme ~sizes:(Scheme_io.sizes_of_db db);
+        Printf.printf "scheme parameters -> %s\n" path)
+      scheme_out;
+    Printf.printf "randomized %d transactions with %s -> %s\n" (Array.length data)
+      (Randomizer.name scheme) out
+  in
+  Cmd.v
+    (Cmd.info "randomize" ~doc:"Apply a randomization operator to a database (client side).")
+    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term)
+
+(* -------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let size = Arg.(value & opt int 5 & info [ "size" ] ~doc:"Transaction size to analyze.") in
+  let universe = Arg.(value & opt int 1000 & info [ "universe" ] ~doc:"Universe size.") in
+  let run spec universe size =
+    let scheme = scheme_of_spec ~universe spec in
+    let r = Randomizer.resolve scheme ~size in
+    Printf.printf "operator: %s at transaction size %d\n" (Randomizer.name scheme) size;
+    Printf.printf "keep distribution: %s\n"
+      (String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.4f") r.keep_dist)));
+    Printf.printf "rho: %.4f, expected items kept: %.1f%%\n" r.rho
+      (100. *. Randomizer.expected_kept_fraction scheme ~size);
+    let gamma = Amplification.gamma_resolved r in
+    if gamma = infinity then
+      print_endline "amplification: INFINITE (no distribution-free guarantee)"
+    else begin
+      Printf.printf "amplification gamma: %.3f\n" gamma;
+      List.iter
+        (fun prior ->
+          Printf.printf "  prior %4.1f%% -> posterior at most %5.1f%%\n" (100. *. prior)
+            (100. *. Amplification.posterior_upper_bound ~gamma ~prior))
+        [ 0.01; 0.05; 0.1 ]
+    end;
+    List.iter
+      (fun prior ->
+        Printf.printf "item-level posterior at prior %4.1f%%: %5.1f%%\n" (100. *. prior)
+          (100. *. Breach.worst_item_posterior r ~prior))
+      [ 0.01; 0.05 ];
+    for k = 1 to min 3 size do
+      Printf.printf "lowest discoverable support (k=%d, N=100k): %.4f\n" k
+        (Estimator.lowest_discoverable_support r ~k ~n:100_000 ~p_bg:0.02)
+    done
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the privacy certificate and utility profile of an operator.")
+    Term.(const run $ operator_term $ universe $ size)
+
+(* ----------------------------------------------------------------- mine *)
+
+let minsup_term =
+  Arg.(value & opt float 0.02 & info [ "min-support" ] ~doc:"Minimum support fraction.")
+
+let maxsize_term =
+  Arg.(value & opt int 3 & info [ "max-size" ] ~doc:"Largest itemset size explored.")
+
+let mine_cmd =
+  let min_confidence =
+    Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
+  in
+  let run input min_support max_size min_confidence =
+    let db = Io.read_file input in
+    let frequent = Apriori.mine db ~min_support ~max_size in
+    Printf.printf "%d frequent itemsets at minsup %.3f:\n" (List.length frequent) min_support;
+    List.iter
+      (fun (s, c) ->
+        Printf.printf "  %s  %.4f\n" (Itemset.to_string s)
+          (float_of_int c /. float_of_int (Db.length db)))
+      frequent;
+    Option.iter
+      (fun min_confidence ->
+        let rules = Rules.generate ~frequent ~n_transactions:(Db.length db) ~min_confidence in
+        Printf.printf "%d rules at confidence >= %.2f:\n" (List.length rules) min_confidence;
+        List.iter (fun r -> Format.printf "  %a@." Rules.pp_rule r) rules)
+      min_confidence
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
+    Term.(const run $ in_term $ minsup_term $ maxsize_term $ min_confidence)
+
+(* -------------------------------------------------------------- private *)
+
+let private_cmd =
+  let run input spec min_support max_size seed =
+    let db = Io.read_file input in
+    let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
+    let rng = Rng.create ~seed () in
+    let data = Randomizer.apply_db_tagged scheme rng db in
+    let truth = Apriori.mine db ~min_support ~max_size in
+    let mined = Ppmining.mine ~scheme ~data ~min_support ~max_size () in
+    Printf.printf "operator: %s\n" (Randomizer.name scheme);
+    Printf.printf "%d itemsets discovered privately (truth: %d)\n"
+      (List.length mined.Ppmining.discovered) (List.length truth);
+    List.iter
+      (fun d ->
+        Printf.printf "  %s  est %.4f (sigma %.4f)\n"
+          (Itemset.to_string d.Ppmining.itemset) d.Ppmining.est_support d.Ppmining.sigma)
+      mined.Ppmining.discovered;
+    let acc = Ppmining.accuracy_vs ~truth ~mined in
+    Printf.printf "accuracy: %d true positives, %d false positives, %d false drops\n"
+      acc.Ppmining.true_positives acc.Ppmining.false_positives acc.Ppmining.false_drops
+  in
+  Cmd.v
+    (Cmd.info "private"
+       ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
+    Term.(const run $ in_term $ operator_term $ minsup_term $ maxsize_term $ seed_term)
+
+(* -------------------------------------------------------------- recover *)
+
+let recover_cmd =
+  let itemset_term =
+    Arg.(required & opt (some (list int)) None & info [ "itemset" ] ~doc:"Comma-separated item ids.")
+  in
+  let scheme_file =
+    Arg.(value & opt (some string) None
+         & info [ "scheme" ] ~doc:"Operator parameter file written by randomize --scheme-out \
+                                   (overrides --operator).")
+  in
+  let run input spec scheme_file items =
+    let universe, data = read_tagged input in
+    let scheme =
+      match scheme_file with
+      | Some path -> Scheme_io.read_file path
+      | None -> scheme_of_spec ~universe spec
+    in
+    let itemset = Itemset.of_list items in
+    let e = Estimator.estimate ~scheme ~data ~itemset in
+    Printf.printf "estimated support of %s: %.5f (sigma %.5f, N = %d)\n"
+      (Itemset.to_string itemset) e.Estimator.support e.Estimator.sigma
+      e.Estimator.n_transactions
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Estimate an itemset's support from a tagged randomized file.")
+    Term.(const run $ in_term $ operator_term $ scheme_file $ itemset_term)
+
+(* ---------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let fimi =
+    Arg.(value & flag & info [ "fimi" ] ~doc:"Read the input in FIMI format.")
+  in
+  let run input fimi =
+    let db = if fimi then Io.read_fimi input else Io.read_file input in
+    Printf.printf "transactions:   %d\n" (Db.length db);
+    Printf.printf "universe:       %d items\n" (Db.universe db);
+    Printf.printf "average size:   %.2f\n" (Db.avg_size db);
+    Printf.printf "density:        %.4f%%\n" (100. *. Db.density db);
+    (match Db.size_histogram db with
+    | [] -> ()
+    | hist ->
+        let lo = fst (List.hd hist) and hi = fst (List.nth hist (List.length hist - 1)) in
+        Printf.printf "size range:     %d..%d over %d distinct sizes\n" lo hi
+          (List.length hist));
+    if Db.length db > 0 then begin
+      let qs = [ 0.5; 0.9; 0.99; 1.0 ] in
+      let vals = Db.item_frequency_quantiles db qs in
+      Printf.printf "item support quantiles:";
+      List.iter2
+        (fun q v -> Printf.printf "  p%.0f %.4f" (100. *. q) v)
+        qs vals;
+      print_newline ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a transaction database file.")
+    Term.(const run $ in_term $ fimi)
+
+(* ----------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum
+            [ ("t1", `T1); ("t2", `T2); ("f1", `F1); ("f5", `F5); ("a1", `A1);
+              ("a4", `A4); ("e1", `E1) ])) None
+      & info [] ~docv:"ID" ~doc:"Experiment id: t1, t2, f1, f5, a1, a4, or e1.")
+  in
+  let run which =
+    match which with
+    | `T1 ->
+        List.iter
+          (fun (r : Experiment.t1_row) ->
+            Printf.printf "%.2f %.2f %.2f\n" r.rho1 r.rho2 r.gamma_limit)
+          (Experiment.t1_breach_limits ())
+    | `T2 ->
+        List.iter
+          (fun (r : Experiment.t2_row) ->
+            Printf.printf "%d %.2f %d %.3f %.3f %s\n" r.cutoff r.rho r.size
+              r.kept_fraction r.worst_posterior
+              (if r.gamma = infinity then "inf" else Printf.sprintf "%.2f" r.gamma))
+          (Experiment.t2_cut_and_paste ())
+    | `F1 ->
+        List.iter
+          (fun (p : Experiment.f1_point) ->
+            Printf.printf "%d %.4f %.6f\n" p.k p.support p.sigma)
+          (Experiment.f1_sigma_vs_support ())
+    | `F5 ->
+        List.iter
+          (fun (p : Experiment.f5_point) ->
+            Printf.printf "%.4f %.4f %.4f %.4f\n" p.prior p.analytic_posterior
+              p.empirical_posterior p.bound)
+          (Experiment.f5_bound_validation ())
+    | `A1 ->
+        List.iter
+          (fun (r : Experiment.a1_row) ->
+            Printf.printf "%d %.0f %.3f %.5f %.5f\n" r.size r.gamma r.rr_epsilon
+              r.sas_sigma_k2 r.rr_sigma_k2)
+          (Experiment.a1_rr_comparison ())
+    | `A4 ->
+        List.iter
+          (fun (r : Experiment.a4_row) ->
+            Printf.printf "%d %.5f %.5f %d\n" r.count r.inv_rmse r.em_rmse
+              r.inv_infeasible)
+          (Experiment.a4_inversion_vs_em ())
+    | `E1 ->
+        List.iter
+          (fun (r : Experiment.e1_row) ->
+            Printf.printf "%.3f %.2f %.3f %.3f %.5f\n" r.alpha r.gamma r.epsilon
+              r.posterior_bound r.reconstruction_rmse)
+          (Experiment.e1_channel_tradeoff ())
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Recompute one experiment of the reconstructed evaluation (raw rows).")
+    Term.(const run $ which)
+
+let main =
+  Cmd.group
+    (Cmd.info "ppdm" ~version:"1.0.0"
+       ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
+    [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd; stats_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/clickstream_audit.ml: Amplification Array Breach Db Float List Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf Randomizer Rng Simple

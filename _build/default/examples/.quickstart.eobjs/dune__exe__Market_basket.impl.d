@@ -1,0 +1,1 @@
+examples/market_basket.ml: Amplification Apriori Array Db Float Format List Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_mining Ppdm_prng Ppmining Printf Quest Randomizer Rng Rules

@@ -1,0 +1,1 @@
+examples/operator_tuning.ml: Array Estimator Float List Optimizer Ppdm Ppdm_linalg Printf Randomizer String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amplification Db Estimator Float Itemset Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf Randomizer Rng Simple

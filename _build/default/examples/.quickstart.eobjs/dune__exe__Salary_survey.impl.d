@@ -1,0 +1,1 @@
+examples/salary_survey.ml: Amplification Array Binning Dist Perturb Ppdm Ppdm_numeric Ppdm_prng Printf Rng

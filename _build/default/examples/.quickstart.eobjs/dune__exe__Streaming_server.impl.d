@@ -1,0 +1,1 @@
+examples/streaming_server.ml: Array Db Estimator Itemset Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf Randomizer Rng Simple Stream

@@ -1,0 +1,64 @@
+(* Streaming collection: the deployment shape of the randomization
+   protocol.
+
+   Clients randomize locally and report one transaction at a time; the
+   server never stores the stream — it folds each report into O(k) sized
+   accumulators (one per tracked itemset) and can publish support
+   estimates with error bars at any moment.  This example simulates 30k
+   client reports arriving in batches and prints the live estimates, then
+   shows that two servers' accumulators merge losslessly (scale-out).
+
+   Run with:  dune exec examples/streaming_server.exe *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_datagen
+open Ppdm
+
+let () =
+  let universe = 300 and size = 6 and count = 30_000 in
+  let rng = Rng.create ~seed:123 () in
+
+  (* ground truth: two itemsets planted at different supports *)
+  let hot = Itemset.of_list [ 10; 20 ] in
+  let db = Simple.planted rng ~universe ~size ~count ~itemset:hot ~support:0.12 in
+  let cold = Itemset.of_list [ 30; 40 ] in
+  Printf.printf "true supports: %s %.4f | %s %.4f\n" (Itemset.to_string hot)
+    (Db.support db hot) (Itemset.to_string cold) (Db.support db cold);
+
+  let design = Optimizer.design_for_estimation ~m:size ~gamma:19. () in
+  let scheme =
+    Randomizer.select_a_size ~universe ~size ~keep_dist:design.Optimizer.dist
+      ~rho:design.Optimizer.rho
+  in
+  let stream = Randomizer.apply_db_tagged scheme rng db in
+
+  (* one accumulator per itemset of interest *)
+  let acc_hot = Stream.create ~scheme ~itemset:hot in
+  let acc_cold = Stream.create ~scheme ~itemset:cold in
+  let checkpoint n =
+    let report acc =
+      let e = Stream.estimate acc in
+      Printf.sprintf "%s %.4f±%.4f" (Itemset.to_string (Stream.itemset acc))
+        e.Estimator.support e.Estimator.sigma
+    in
+    Printf.printf "after %6d reports: %s | %s\n" n (report acc_hot) (report acc_cold)
+  in
+  Array.iteri
+    (fun i (size, y) ->
+      Stream.observe acc_hot ~size y;
+      Stream.observe acc_cold ~size y;
+      let seen = i + 1 in
+      if seen = 1000 || seen = 5000 || seen = count then checkpoint seen)
+    stream;
+
+  (* scale-out: two half-streams merged equal the full stream *)
+  let half = count / 2 in
+  let a = Stream.create ~scheme ~itemset:hot and b = Stream.create ~scheme ~itemset:hot in
+  Stream.observe_all a (Array.sub stream 0 half);
+  Stream.observe_all b (Array.sub stream half (count - half));
+  Stream.merge_into a ~from:b;
+  let merged = Stream.estimate a and whole = Stream.estimate acc_hot in
+  Printf.printf "merge check: %.6f = %.6f -> %b\n" merged.Estimator.support
+    whole.Estimator.support
+    (merged.Estimator.support = whole.Estimator.support)

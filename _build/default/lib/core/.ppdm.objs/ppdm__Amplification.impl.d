@@ -1,0 +1,1 @@
+lib/core/amplification.ml: Array Binomial Ppdm_linalg Randomizer

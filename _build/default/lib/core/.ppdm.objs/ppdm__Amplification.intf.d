@@ -1,0 +1,1 @@
+lib/core/amplification.mli: Randomizer

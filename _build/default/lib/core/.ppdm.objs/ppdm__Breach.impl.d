@@ -1,0 +1,1 @@
+lib/core/breach.ml: Array Db Float Itemset Ppdm_data Randomizer Transition

@@ -1,0 +1,1 @@
+lib/core/breach.mli: Db Ppdm_data Randomizer

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Array Dist Float Lazy Lu Mat Ppdm_linalg Ppdm_prng

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Mat Ppdm_linalg Ppdm_prng Rng Vec

@@ -1,0 +1,1 @@
+lib/core/em.ml: Array Estimator Float Itemset List Mat Ppdm_data Ppdm_linalg Randomizer Transition

@@ -1,0 +1,1 @@
+lib/core/em.mli: Itemset Ppdm_data Randomizer

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Binomial Float Hashtbl Itemset List Lu Mat Ppdm_data Ppdm_linalg Randomizer Stats Transition

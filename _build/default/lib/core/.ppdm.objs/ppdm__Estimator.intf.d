@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Itemset Mat Ppdm_data Ppdm_linalg Randomizer

@@ -1,0 +1,1 @@
+lib/core/ldp.ml: Amplification Float Randomizer

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Amplification Array Binomial Breach Estimator Float List Lu Option Ppdm_linalg Printf Randomizer

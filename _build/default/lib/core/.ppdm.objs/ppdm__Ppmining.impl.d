@@ -1,0 +1,1 @@
+lib/core/ppmining.ml: Apriori Array Breach Estimator Float Hashtbl Itemset List Option Ppdm_data Ppdm_mining Randomizer

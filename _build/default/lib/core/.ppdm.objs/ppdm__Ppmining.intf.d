@@ -1,0 +1,1 @@
+lib/core/ppmining.mli: Itemset Ppdm_data Randomizer

@@ -1,0 +1,1 @@
+lib/core/randomizer.ml: Array Binomial Db Dist Float Hashtbl Itemset Ppdm_data Ppdm_linalg Ppdm_prng Printf

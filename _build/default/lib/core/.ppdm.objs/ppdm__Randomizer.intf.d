@@ -1,0 +1,1 @@
+lib/core/randomizer.mli: Db Itemset Ppdm_data Ppdm_prng Rng

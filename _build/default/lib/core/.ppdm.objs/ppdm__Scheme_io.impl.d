@@ -1,0 +1,1 @@
+lib/core/scheme_io.ml: Array Fun Hashtbl List Option Ppdm_data Printf Randomizer String

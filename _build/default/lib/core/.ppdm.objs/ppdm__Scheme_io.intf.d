@@ -1,0 +1,1 @@
+lib/core/scheme_io.mli: Ppdm_data Randomizer

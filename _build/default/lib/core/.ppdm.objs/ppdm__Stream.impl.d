@@ -1,0 +1,1 @@
+lib/core/stream.ml: Array Estimator Hashtbl Itemset List Ppdm_data Randomizer

@@ -1,0 +1,1 @@
+lib/core/stream.mli: Estimator Itemset Ppdm_data Randomizer

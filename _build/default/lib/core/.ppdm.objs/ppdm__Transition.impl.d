@@ -1,0 +1,1 @@
+lib/core/transition.ml: Array Binomial Float Mat Ppdm_linalg Randomizer

@@ -1,0 +1,35 @@
+type t = {
+  budget_gamma : float;
+  mutable spent : float;
+  mutable releases : (string * float) list; (* newest first *)
+}
+
+let create ~budget_gamma =
+  if budget_gamma < 1. then
+    invalid_arg "Accountant.create: budget_gamma must be >= 1";
+  { budget_gamma; spent = 1.; releases = [] }
+
+let budget_gamma t = t.budget_gamma
+let spent_gamma t = t.spent
+let spent_epsilon t = log t.spent
+let remaining_gamma t = t.budget_gamma /. t.spent
+
+let charge t ~gamma ~label =
+  if gamma < 1. then Error "a release cannot have gamma below 1"
+  else if gamma = infinity then
+    Error "a release with infinite amplification is never certifiable"
+  else if t.spent *. gamma > t.budget_gamma *. (1. +. 1e-12) then
+    Error
+      (Printf.sprintf
+         "budget exceeded: spent %.3f, release %.3f, budget %.3f" t.spent gamma
+         t.budget_gamma)
+  else begin
+    t.spent <- t.spent *. gamma;
+    t.releases <- (label, gamma) :: t.releases;
+    Ok ()
+  end
+
+let releases t = List.rev t.releases
+
+let posterior_bound t ~prior =
+  Amplification.posterior_upper_bound ~gamma:t.spent ~prior

@@ -1,0 +1,37 @@
+(** Privacy accounting across composed releases.
+
+    Independent randomized releases about the same client compose: an
+    adversary seeing both outputs multiplies likelihood ratios, so
+    amplifications multiply (ε = ln γ adds).  The accountant tracks the
+    releases charged against one budget and refuses to certify past it —
+    the operational discipline the paper's repeated-randomization caveat
+    calls for. *)
+
+type t
+(** A mutable ledger against a fixed γ budget. *)
+
+val create : budget_gamma:float -> t
+(** @raise Invalid_argument unless [budget_gamma >= 1]. *)
+
+val budget_gamma : t -> float
+
+val spent_gamma : t -> float
+(** Product of the charged amplifications (1 when nothing is charged). *)
+
+val spent_epsilon : t -> float
+(** [ln (spent_gamma)]. *)
+
+val remaining_gamma : t -> float
+(** The largest γ a further release may use: [budget / spent]. *)
+
+val charge : t -> gamma:float -> label:string -> (unit, string) result
+(** Record a release.  [Error] (with a human-readable reason, nothing
+    recorded) when the release would exceed the budget, when [gamma < 1],
+    or when it is infinite. *)
+
+val releases : t -> (string * float) list
+(** Charged releases, oldest first. *)
+
+val posterior_bound : t -> prior:float -> float
+(** The ceiling on any posterior after *all* charged releases combined
+    (the theorem applied at the composed γ). *)

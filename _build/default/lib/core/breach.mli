@@ -1,0 +1,43 @@
+(** Distribution-dependent privacy-breach analysis.
+
+    Where {!Amplification} bounds posteriors for *every* prior (the PODS
+    2003 measure), this module computes the actual posteriors under an
+    assumed data distribution — the privacy-breach notion of the companion
+    KDD 2002 study, and the measurement side of the F5 experiment: the
+    empirical posteriors must never exceed the amplification bound. *)
+
+open Ppdm_data
+
+val keep_probability : Randomizer.resolved -> float
+(** [P(a ∈ R(t) | a ∈ t) = Σ_j p_j · j / m]: the chance a given
+    transaction item survives randomization (1 if [m = 0], vacuously). *)
+
+val item_posterior_present : Randomizer.resolved -> prior:float -> float
+(** [P(a ∈ t | a ∈ R(t))] when item [a] has marginal prior [P(a ∈ t)] and
+    transactions have the operator's size: Bayes with the keep probability
+    against the noise rate ρ. *)
+
+val item_posterior_absent : Randomizer.resolved -> prior:float -> float
+(** [P(a ∈ t | a ∉ R(t))]: what the *absence* of an item reveals. *)
+
+val worst_item_posterior : Randomizer.resolved -> prior:float -> float
+(** Max of the two observable posteriors: the item-level ρ1-to-ρ2 breach
+    level this operator admits at the given prior. *)
+
+val itemset_posterior :
+  Randomizer.resolved -> partials:float array -> float
+(** [P(A ⊆ t | A ⊆ R(t))] for a [k]-itemset with true partial-support
+    vector [partials] (length [k+1], summing to 1): the "cause" breach of
+    seeing a whole itemset survive.  Requires [k <= m]. *)
+
+val empirical_item_posteriors :
+  original:Db.t -> randomized:Db.t -> item:int -> float * float
+(** Measured [(posterior_present, posterior_absent)] for one item from an
+    aligned (original, randomized) database pair.  A posterior whose
+    conditioning event never occurs is reported as 0.
+    @raise Invalid_argument if the databases differ in length. *)
+
+val empirical_worst_item_posterior :
+  original:Db.t -> randomized:Db.t -> float
+(** Maximum of {!empirical_item_posteriors} over all items that occur in
+    the original database. *)

@@ -1,0 +1,179 @@
+open Ppdm_data
+open Ppdm_linalg
+
+type t = {
+  support : float;
+  partials : float array;
+  sigma : float;
+  covariance : Mat.t;
+  n_transactions : int;
+}
+
+let observed_partial_counts data ~itemset =
+  let k = Itemset.cardinal itemset in
+  let by_size = Hashtbl.create 8 in
+  Array.iter
+    (fun (size, y) ->
+      let counts =
+        match Hashtbl.find_opt by_size size with
+        | Some c -> c
+        | None ->
+            let c = Array.make (k + 1) 0 in
+            Hashtbl.replace by_size size c;
+            c
+      in
+      let l' = Itemset.inter_size itemset y in
+      counts.(l') <- counts.(l') + 1)
+    data;
+  List.sort compare (Hashtbl.fold (fun size c acc -> (size, c) :: acc) by_size [])
+
+(* Conditional covariance of the observed fraction vector given the true
+   database: the randomization is the only noise source (the paper
+   conditions on the data), so
+   Cov(s') = (1/N) Σ_l s_l (diag(p_l) - p_l p_lᵀ)
+   with p_l the l-th column of the transition matrix.  Negative estimated
+   partials are clamped; an exact operator (identity) yields zero. *)
+let conditional_cov p partials n =
+  let rows = Mat.rows p and cols = Mat.cols p in
+  let cov = Mat.create ~rows ~cols:rows in
+  for l = 0 to cols - 1 do
+    let w = Float.max 0. partials.(l) /. float_of_int n in
+    if w > 0. then begin
+      let col = Mat.col p l in
+      for i = 0 to rows - 1 do
+        for j = 0 to rows - 1 do
+          let v = if i = j then col.(i) *. (1. -. col.(i)) else -.(col.(i) *. col.(j)) in
+          Mat.set cov i j (Mat.get cov i j +. (w *. v))
+        done
+      done
+    end
+  done;
+  cov
+
+(* One size class: solve for the class-conditional partial supports and
+   their covariance.  Square case inverts P; the rectangular case (m < k)
+   solves the normal equations and conjugates by the pseudo-inverse. *)
+let estimate_class (resolved : Randomizer.resolved) ~k counts =
+  let m = Array.length resolved.keep_dist - 1 in
+  let n = Array.fold_left ( + ) 0 counts in
+  let observed =
+    Array.map (fun c -> float_of_int c /. float_of_int n) counts
+  in
+  let cols = min k m + 1 in
+  let p = Transition.rect_matrix resolved ~k in
+  let pinv =
+    if cols = k + 1 then Lu.inverse (Lu.decompose p)
+    else begin
+      let pt = Mat.transpose p in
+      let gram = Mat.mul pt p in
+      Lu.solve_mat (Lu.decompose gram) pt
+    end
+  in
+  let short = Mat.mul_vec pinv observed in
+  let cov_obs = conditional_cov p short n in
+  let cov_short = Mat.mul pinv (Mat.mul cov_obs (Mat.transpose pinv)) in
+  (* Pad with structural zeros: s_l = 0 exactly for l > m. *)
+  let partials = Array.make (k + 1) 0. in
+  Array.blit short 0 partials 0 cols;
+  let covariance =
+    Mat.init ~rows:(k + 1) ~cols:(k + 1) (fun i j ->
+        if i < cols && j < cols then Mat.get cov_short i j else 0.)
+  in
+  (partials, covariance, n)
+
+let estimate_from_counts ~scheme ~k ~counts:groups =
+  let total =
+    List.fold_left
+      (fun acc (_, c) -> acc + Array.fold_left ( + ) 0 c)
+      0 groups
+  in
+  if total = 0 then invalid_arg "Estimator.estimate_from_counts: empty counts";
+  List.iter
+    (fun (_, c) ->
+      if Array.length c <> k + 1 then
+        invalid_arg "Estimator.estimate_from_counts: count vector length")
+    groups;
+  let partials = Array.make (k + 1) 0. in
+  let covariance = Mat.create ~rows:(k + 1) ~cols:(k + 1) in
+  List.iter
+    (fun (size, counts) ->
+      let resolved = Randomizer.resolve scheme ~size in
+      let class_partials, class_cov, n = estimate_class resolved ~k counts in
+      let w = float_of_int n /. float_of_int total in
+      for l = 0 to k do
+        partials.(l) <- partials.(l) +. (w *. class_partials.(l));
+        for l2 = 0 to k do
+          Mat.set covariance l l2
+            (Mat.get covariance l l2 +. (w *. w *. Mat.get class_cov l l2))
+        done
+      done)
+    groups;
+  {
+    support = partials.(k);
+    partials;
+    sigma = sqrt (Float.max 0. (Mat.get covariance k k));
+    covariance;
+    n_transactions = total;
+  }
+
+let estimate ~scheme ~data ~itemset =
+  if Array.length data = 0 then invalid_arg "Estimator.estimate: empty data";
+  let k = Itemset.cardinal itemset in
+  let counts = observed_partial_counts data ~itemset in
+  estimate_from_counts ~scheme ~k ~counts
+
+let predicted_sigma (resolved : Randomizer.resolved) ~k ~partials ~n =
+  let m = Array.length resolved.keep_dist - 1 in
+  if k > m then invalid_arg "Estimator.predicted_sigma: k exceeds size";
+  if Array.length partials <> k + 1 then
+    invalid_arg "Estimator.predicted_sigma: partials must have length k+1";
+  if n <= 0 then invalid_arg "Estimator.predicted_sigma: n must be positive";
+  let p = Transition.matrix resolved ~k in
+  let cov_obs = conditional_cov p partials n in
+  let pinv = Lu.inverse (Lu.decompose p) in
+  let cov = Mat.mul pinv (Mat.mul cov_obs (Mat.transpose pinv)) in
+  sqrt (Float.max 0. (Mat.get cov k k))
+
+let confidence_interval t ~level =
+  if not (level > 0. && level < 1.) then
+    invalid_arg "Estimator.confidence_interval: level must be in (0,1)";
+  let z = Stats.normal_quantile (0.5 +. (level /. 2.)) in
+  let clamp x = Float.max 0. (Float.min 1. x) in
+  (clamp (t.support -. (z *. t.sigma)), clamp (t.support +. (z *. t.sigma)))
+
+let binomial_profile ~k ~p_bg ~support =
+  if support < 0. || support > 1. then
+    invalid_arg "Estimator.binomial_profile: support out of [0,1]";
+  if p_bg < 0. || p_bg > 1. then
+    invalid_arg "Estimator.binomial_profile: p_bg out of [0,1]";
+  let raw = Array.init (k + 1) (Binomial.binomial_pmf ~n:k ~p:p_bg) in
+  let below = Array.fold_left ( +. ) 0. (Array.sub raw 0 k) in
+  let profile = Array.make (k + 1) 0. in
+  if below > 0. then
+    for l = 0 to k - 1 do
+      profile.(l) <- raw.(l) *. (1. -. support) /. below
+    done
+  else profile.(0) <- 1. -. support;
+  profile.(k) <- support;
+  profile
+
+let lowest_discoverable_support resolved ~k ~n ~p_bg =
+  let sigma_at s =
+    predicted_sigma resolved ~k ~partials:(binomial_profile ~k ~p_bg ~support:s)
+      ~n
+  in
+  (* σ(s) is continuous and nearly flat while s/2 grows linearly, so the
+     sign of g(s) = σ(s) - s/2 changes at most once; bisection applies. *)
+  let g s = sigma_at s -. (s /. 2.) in
+  if g 1. > 0. then 1.
+  else begin
+    let lo = ref 1e-9 and hi = ref 1. in
+    if g !lo <= 0. then !lo
+    else begin
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if g mid > 0. then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  end

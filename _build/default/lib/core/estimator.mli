@@ -1,0 +1,68 @@
+(** Unbiased recovery of itemset supports from randomized data.
+
+    For a [k]-itemset the server observes the randomized partial-support
+    fractions [ŝ'] with [E ŝ' = P s]; the estimator returns [ŝ = P⁻¹ ŝ']
+    together with its covariance [P⁻¹ Σ̂ P⁻ᵀ] (plug-in multinomial [Σ̂]).
+    Databases with mixed transaction sizes are handled by partitioning by
+    size — each size class has its own operator and transition matrix —
+    and pooling the per-class estimates with their class weights.
+    Transactions smaller than [k] (which can never contain the itemset but
+    still produce observations) go through the rectangular least-squares
+    variant. *)
+
+open Ppdm_data
+open Ppdm_linalg
+
+type t = {
+  support : float;  (** estimated support [ŝ_k] (may fall outside [0,1]) *)
+  partials : float array;  (** full estimated partial-support vector *)
+  sigma : float;  (** estimated standard deviation of [support] *)
+  covariance : Mat.t;  (** covariance of [partials] *)
+  n_transactions : int;
+}
+
+val observed_partial_counts :
+  (int * Itemset.t) array -> itemset:Itemset.t -> ((int * int array) list)
+(** Group the tagged randomized data by original transaction size; for
+    each size, the counts of [|y ∩ A| = l'] for [l' = 0..k]. *)
+
+val estimate :
+  scheme:Randomizer.t ->
+  data:(int * Itemset.t) array ->
+  itemset:Itemset.t ->
+  t
+(** Full pipeline on tagged randomized data (see
+    {!Randomizer.apply_db_tagged}).
+    @raise Invalid_argument on empty data. *)
+
+val estimate_from_counts :
+  scheme:Randomizer.t -> k:int -> counts:(int * int array) list -> t
+(** Estimation from pre-aggregated observations: for each original
+    transaction size, the counts of [|y ∩ A| = l'] (length [k+1]).  This
+    is the sufficient statistic — {!Stream} accumulates it online and
+    {!estimate} is the one-shot wrapper.
+    @raise Invalid_argument on empty counts or mis-sized vectors. *)
+
+val predicted_sigma :
+  Randomizer.resolved -> k:int -> partials:float array -> n:int -> float
+(** Theoretical standard deviation of the recovered support when the true
+    partial-support vector is [partials] and [n] size-[m] transactions are
+    observed — the paper's accuracy formula (used by F1/F2 and the
+    optimizer).  Requires [k <= m]. *)
+
+val confidence_interval : t -> level:float -> float * float
+(** Normal-approximation confidence interval for the recovered support at
+    the given two-sided level (e.g. 0.95), clamped to [0, 1].
+    @raise Invalid_argument unless [0 < level < 1]. *)
+
+val binomial_profile : k:int -> p_bg:float -> support:float -> float array
+(** Canonical partial-support profile for analysis: items of the target
+    itemset behave as background Bernoulli([p_bg]) except that the full
+    itemset is forced to true support [support].  Used to evaluate
+    {!predicted_sigma} at a hypothetical support level. *)
+
+val lowest_discoverable_support :
+  Randomizer.resolved -> k:int -> n:int -> p_bg:float -> float
+(** Smallest support [s] whose predicted σ is at most [s / 2] under the
+    binomial profile: the paper's discoverability threshold.  Returns 1.0
+    when even full support is not discoverable. *)

@@ -1,0 +1,274 @@
+open Ppdm_data
+open Ppdm_mining
+
+type discovery = { itemset : Itemset.t; est_support : float; sigma : float }
+type result = { discovered : discovery list; explored : discovery list }
+
+let estimate_candidate ~scheme ~data itemset =
+  let e = Estimator.estimate ~scheme ~data ~itemset in
+  { itemset; est_support = e.Estimator.support; sigma = e.Estimator.sigma }
+
+(* Singletons get a fast path: one pass counts every item at once, giving
+   the k = 1 observed partials for all universe items. *)
+let level_one ~scheme ~data ~keep =
+  let universe = Randomizer.universe scheme in
+  (* counts.(size).(item) for transactions of each original size *)
+  let by_size = Hashtbl.create 8 in
+  Array.iter
+    (fun (size, y) ->
+      let slot =
+        match Hashtbl.find_opt by_size size with
+        | Some s -> s
+        | None ->
+            let s = (ref 0, Array.make universe 0) in
+            Hashtbl.replace by_size size s;
+            s
+      in
+      incr (fst slot);
+      Itemset.iter (fun item -> (snd slot).(item) <- (snd slot).(item) + 1) y)
+    data;
+  let total = float_of_int (Array.length data) in
+  let out = ref [] in
+  for item = 0 to universe - 1 do
+    (* Pool the per-size 2x2 inversions: for k = 1 the transition matrix
+       is [[1-rho, 1-q]; [rho, q]] with q the keep probability. *)
+    let support = ref 0. and variance = ref 0. in
+    Hashtbl.iter
+      (fun size (n_ref, counts) ->
+        let n = !n_ref in
+        let resolved = Randomizer.resolve scheme ~size in
+        let q = Breach.keep_probability resolved and rho = resolved.rho in
+        let denom = q -. rho in
+        let w = float_of_int n /. total in
+        if Float.abs denom < 1e-12 then ()
+          (* degenerate operator: the class carries no signal; weight 0 *)
+        else begin
+          let observed = float_of_int counts.(item) /. float_of_int n in
+          let s = (observed -. rho) /. denom in
+          let var =
+            observed *. (1. -. observed)
+            /. (denom *. denom *. float_of_int n)
+          in
+          support := !support +. (w *. s);
+          variance := !variance +. (w *. w *. var)
+        end)
+      by_size;
+    let d =
+      { itemset = Itemset.singleton item; est_support = !support;
+        sigma = sqrt (Float.max 0. !variance) }
+    in
+    if keep d then out := d :: !out
+  done;
+  List.rev !out
+
+(* Pair candidates also get a single-pass path: per original size, count
+   each candidate item's occurrences and each candidate pair's
+   co-occurrences; the k = 2 partial counts follow by inclusion-exclusion
+   (c2 = both, c1 = cnt_a + cnt_b - 2 c2, c0 = rest).  This turns
+   O(#pairs) data passes into one.  Counts live in flat per-size arrays
+   (universe-sized for items, universe^2 for pairs) because the inner
+   loop runs once per co-occurring pair per transaction. *)
+let level_two_dense ~scheme ~data candidates =
+  let universe = Randomizer.universe scheme in
+  let candidate_items = Array.make universe false in
+  List.iter
+    (fun c ->
+      candidate_items.(Itemset.nth c 0) <- true;
+      candidate_items.(Itemset.nth c 1) <- true)
+    candidates;
+  let item_counts : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let pair_counts : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let size_totals : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let slot table size len =
+    match Hashtbl.find_opt table size with
+    | Some a -> a
+    | None ->
+        let a = Array.make len 0 in
+        Hashtbl.replace table size a;
+        a
+  in
+  let scratch = Array.make universe 0 in
+  Array.iter
+    (fun (size, y) ->
+      (match Hashtbl.find_opt size_totals size with
+      | Some r -> incr r
+      | None -> Hashtbl.replace size_totals size (ref 1));
+      let items = slot item_counts size universe in
+      let pairs = slot pair_counts size (universe * universe) in
+      let n_present = ref 0 in
+      Itemset.iter
+        (fun item ->
+          if candidate_items.(item) then begin
+            items.(item) <- items.(item) + 1;
+            scratch.(!n_present) <- item;
+            incr n_present
+          end)
+        y;
+      for i = 0 to !n_present - 1 do
+        let base = scratch.(i) * universe in
+        for j = i + 1 to !n_present - 1 do
+          let idx = base + scratch.(j) in
+          pairs.(idx) <- pairs.(idx) + 1
+        done
+      done)
+    data;
+  List.map
+    (fun c ->
+      let a = Itemset.nth c 0 and b = Itemset.nth c 1 in
+      let counts =
+        Hashtbl.fold
+          (fun size total acc ->
+            let items = Hashtbl.find item_counts size in
+            let pairs = Hashtbl.find pair_counts size in
+            let c2 = pairs.((a * universe) + b) in
+            let c1 = items.(a) + items.(b) - (2 * c2) in
+            let c0 = !total - c1 - c2 in
+            (size, [| c0; c1; c2 |]) :: acc)
+          size_totals []
+      in
+      let e = Estimator.estimate_from_counts ~scheme ~k:2 ~counts in
+      { itemset = c; est_support = e.Estimator.support; sigma = e.Estimator.sigma })
+    candidates
+
+(* Sparse variant for large universes (the flat pair array would need
+   universe^2 cells per size class): per-size hash tables keyed by the
+   candidate pair. *)
+let level_two_sparse ~scheme ~data candidates =
+  let universe = Randomizer.universe scheme in
+  let candidate_items = Array.make universe false in
+  let pair_slots = Hashtbl.create (2 * List.length candidates) in
+  List.iter
+    (fun c ->
+      let a = Itemset.nth c 0 and b = Itemset.nth c 1 in
+      candidate_items.(a) <- true;
+      candidate_items.(b) <- true;
+      Hashtbl.replace pair_slots (a, b) (Hashtbl.create 4))
+    candidates;
+  let item_counts = Hashtbl.create 64 in
+  let size_totals = Hashtbl.create 8 in
+  let bump table key =
+    Hashtbl.replace table key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  Array.iter
+    (fun (size, y) ->
+      bump size_totals size;
+      let present =
+        List.rev
+          (Itemset.fold
+             (fun item acc -> if candidate_items.(item) then item :: acc else acc)
+             y [])
+      in
+      List.iter (fun item -> bump item_counts (size, item)) present;
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                match Hashtbl.find_opt pair_slots (a, b) with
+                | Some per_size -> bump per_size size
+                | None -> ())
+              rest;
+            pairs rest
+      in
+      pairs present)
+    data;
+  let count table key = Option.value ~default:0 (Hashtbl.find_opt table key) in
+  List.map
+    (fun c ->
+      let a = Itemset.nth c 0 and b = Itemset.nth c 1 in
+      let per_size = Hashtbl.find pair_slots (a, b) in
+      let counts =
+        Hashtbl.fold
+          (fun size total acc ->
+            let c2 = count per_size size in
+            let c1 =
+              count item_counts (size, a) + count item_counts (size, b) - (2 * c2)
+            in
+            (size, [| total - c1 - c2; c1; c2 |]) :: acc)
+          size_totals []
+      in
+      let e = Estimator.estimate_from_counts ~scheme ~k:2 ~counts in
+      { itemset = c; est_support = e.Estimator.support; sigma = e.Estimator.sigma })
+    candidates
+
+let level_two ~scheme ~data candidates =
+  (* the dense path allocates universe^2 cells per occurring size class *)
+  let universe = Randomizer.universe scheme in
+  if universe <= 1024 then level_two_dense ~scheme ~data candidates
+  else level_two_sparse ~scheme ~data candidates
+
+let mine ?max_size ?(sigma_slack = 2.0) ?sigma_cap ~scheme ~data ~min_support
+    () =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Ppmining.mine: min_support out of (0,1]";
+  if Array.length data = 0 then invalid_arg "Ppmining.mine: empty data";
+  let cap = Option.value max_size ~default:max_int in
+  let sigma_cap = Option.value sigma_cap ~default:(min_support /. 2.) in
+  (* Estimates travel through matrix inversions, so threshold comparisons
+     carry a one-ulp tolerance: an exact-support itemset must not be
+     dropped by rounding. *)
+  let eps = 1e-12 in
+  let passes d =
+    d.sigma < sigma_cap
+    && d.est_support +. (sigma_slack *. d.sigma) >= min_support -. eps
+  in
+  let explored = ref [] in
+  let rec levels current size =
+    if size > cap || current = [] then ()
+    else begin
+      let candidates =
+        Apriori.candidates_from
+          ~frequent:(List.map (fun d -> d.itemset) current)
+          ~size
+      in
+      let next =
+        let estimated =
+          if size = 2 then level_two ~scheme ~data candidates
+          else List.map (estimate_candidate ~scheme ~data) candidates
+        in
+        List.filter passes estimated
+      in
+      explored := !explored @ next;
+      levels next (size + 1)
+    end
+  in
+  let first = if cap < 1 then [] else level_one ~scheme ~data ~keep:passes in
+  explored := first;
+  if cap >= 2 then levels first 2;
+  let ordered =
+    List.sort (fun a b -> Itemset.compare a.itemset b.itemset) !explored
+  in
+  {
+    discovered = List.filter (fun d -> d.est_support >= min_support -. eps) ordered;
+    explored = ordered;
+  }
+
+type accuracy = {
+  true_positives : int;
+  false_positives : int;
+  false_drops : int;
+}
+
+let accuracy_vs ~truth ~mined =
+  let truth_set = Hashtbl.create (2 * List.length truth) in
+  List.iter (fun (s, _) -> Hashtbl.replace truth_set s ()) truth;
+  let mined_set = Hashtbl.create 64 in
+  List.iter
+    (fun d -> Hashtbl.replace mined_set d.itemset ())
+    mined.discovered;
+  let true_positives = ref 0 and false_positives = ref 0 in
+  Hashtbl.iter
+    (fun s () ->
+      if Hashtbl.mem truth_set s then incr true_positives
+      else incr false_positives)
+    mined_set;
+  let false_drops = ref 0 in
+  Hashtbl.iter
+    (fun s () -> if not (Hashtbl.mem mined_set s) then incr false_drops)
+    truth_set;
+  {
+    true_positives = !true_positives;
+    false_positives = !false_positives;
+    false_drops = !false_drops;
+  }

@@ -1,0 +1,142 @@
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_linalg
+
+type resolved = { keep_dist : float array; rho : float }
+
+type t = {
+  universe : int;
+  name : string;
+  produce : int -> resolved;
+  (* Per-size cache of the validated operator and its alias sampler. *)
+  cache : (int, resolved * Dist.discrete option) Hashtbl.t;
+}
+
+let validate_resolved ~size { keep_dist; rho } =
+  if Array.length keep_dist <> size + 1 then
+    invalid_arg "Randomizer: keep_dist length must be size + 1";
+  Array.iter
+    (fun p -> if p < 0. then invalid_arg "Randomizer: negative keep probability")
+    keep_dist;
+  let total = Array.fold_left ( +. ) 0. keep_dist in
+  if Float.abs (total -. 1.) > 1e-9 then
+    invalid_arg "Randomizer: keep_dist must sum to 1";
+  if rho < 0. || rho > 1. then invalid_arg "Randomizer: rho out of [0,1]"
+
+let make ~universe ~name produce =
+  if universe <= 0 then invalid_arg "Randomizer: universe must be positive";
+  { universe; name; produce; cache = Hashtbl.create 8 }
+
+let resolved_cached t size =
+  match Hashtbl.find_opt t.cache size with
+  | Some entry -> entry
+  | None ->
+      let r = t.produce size in
+      validate_resolved ~size r;
+      (* The alias table is only needed when there is a real choice. *)
+      let sampler = if size = 0 then None else Some (Dist.discrete r.keep_dist) in
+      let entry = (r, sampler) in
+      Hashtbl.replace t.cache size entry;
+      entry
+
+let universe t = t.universe
+let name t = t.name
+
+let resolve t ~size =
+  let r, _ = resolved_cached t size in
+  { keep_dist = Array.copy r.keep_dist; rho = r.rho }
+
+let expected_kept_fraction t ~size =
+  if size = 0 then 1.
+  else begin
+    let r, _ = resolved_cached t size in
+    let acc = ref 0. in
+    Array.iteri (fun j p -> acc := !acc +. (p *. float_of_int j)) r.keep_dist;
+    !acc /. float_of_int size
+  end
+
+let uniform ~universe ~p_keep ~p_add =
+  if p_keep < 0. || p_keep > 1. then
+    invalid_arg "Randomizer.uniform: p_keep out of [0,1]";
+  let name = Printf.sprintf "uniform(p_keep=%g,p_add=%g)" p_keep p_add in
+  make ~universe ~name (fun m ->
+      {
+        keep_dist = Array.init (m + 1) (Binomial.binomial_pmf ~n:m ~p:p_keep);
+        rho = p_add;
+      })
+
+let select_a_size ~universe ~size ~keep_dist ~rho =
+  if size < 0 then invalid_arg "Randomizer.select_a_size: negative size";
+  let fixed = { keep_dist = Array.copy keep_dist; rho } in
+  validate_resolved ~size fixed;
+  let name = Printf.sprintf "select-a-size(m=%d,rho=%g)" size rho in
+  make ~universe ~name (fun m ->
+      if m = size then fixed
+      else if m = 0 then { keep_dist = [| 1. |]; rho }
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Randomizer.select_a_size: operator is for size %d, got %d" size m))
+
+let cut_and_paste ~universe ~cutoff ~rho =
+  if cutoff < 0 then invalid_arg "Randomizer.cut_and_paste: negative cutoff";
+  let name = Printf.sprintf "cut-and-paste(K=%d,rho=%g)" cutoff rho in
+  make ~universe ~name (fun m ->
+      let keep_dist = Array.make (m + 1) 0. in
+      let base = 1. /. float_of_int (cutoff + 1) in
+      (* j = min(uniform{0..K}, m): uniform mass below m, clipped tail on m. *)
+      for j0 = 0 to cutoff do
+        let j = min j0 m in
+        keep_dist.(j) <- keep_dist.(j) +. base
+      done;
+      { keep_dist; rho })
+
+let per_size ~universe ~name produce = make ~universe ~name produce
+
+(* Map sorted complement ranks to items: the rank-r element of
+   [universe \ tx] is [r + j] where [j] counts transaction items <= it.
+   Both inputs are increasing, so a single forward pass suffices. *)
+let unrank_complement tx ranks =
+  let m = Array.length tx in
+  let j = ref 0 in
+  Array.map
+    (fun r ->
+      let item = ref (r + !j) in
+      let stable = ref false in
+      while not !stable do
+        if !j < m && tx.(!j) <= !item then begin
+          incr j;
+          item := r + !j
+        end
+        else stable := true
+      done;
+      !item)
+    ranks
+
+let apply t rng tx =
+  let m = Itemset.cardinal tx in
+  let r, sampler = resolved_cached t m in
+  if m > t.universe then invalid_arg "Randomizer.apply: transaction too large";
+  let j =
+    match sampler with None -> 0 | Some s -> Dist.discrete_sample rng s
+  in
+  let items = Itemset.to_array tx in
+  let kept = Dist.subset rng ~k:j items in
+  let noise_count = Dist.binomial rng ~n:(t.universe - m) ~p:r.rho in
+  let ranks = Dist.sample_distinct rng ~k:noise_count ~bound:(t.universe - m) in
+  let noise = unrank_complement items ranks in
+  Itemset.union
+    (Itemset.of_sorted_array_unchecked kept)
+    (Itemset.of_sorted_array_unchecked noise)
+
+let apply_db t rng db =
+  if Db.universe db <> t.universe then
+    invalid_arg "Randomizer.apply_db: universe mismatch";
+  Db.map (apply t rng) db
+
+let apply_db_tagged t rng db =
+  if Db.universe db <> t.universe then
+    invalid_arg "Randomizer.apply_db_tagged: universe mismatch";
+  Array.map
+    (fun tx -> (Itemset.cardinal tx, apply t rng tx))
+    (Db.transactions db)

@@ -1,0 +1,33 @@
+(** Serialization of randomization schemes.
+
+    The protocol requires client and server to agree on the exact operator
+    parameters (they are public).  A scheme is a function of transaction
+    size, so it is serialized extensionally: the resolved operator for
+    each size in an explicit list — typically the sizes occurring in the
+    data — plus the universe.  Reading yields a scheme that serves exactly
+    those sizes and rejects others.
+
+    Format (text, line-oriented):
+    {v
+    ppdm-scheme 1
+    universe <n>
+    name <string>
+    size <m> rho <float> keep <p_0> ... <p_m>
+    ...
+    v} *)
+
+val write_channel : out_channel -> Randomizer.t -> sizes:int list -> unit
+(** Serialize the operators the scheme uses at the given sizes
+    (deduplicated; each size resolved once).
+    @raise Invalid_argument if the scheme does not cover one of them. *)
+
+val write_file : string -> Randomizer.t -> sizes:int list -> unit
+
+val read_channel : in_channel -> Randomizer.t
+(** @raise Failure on malformed input. *)
+
+val read_file : string -> Randomizer.t
+
+val sizes_of_db : Ppdm_data.Db.t -> int list
+(** The distinct transaction sizes of a database, ascending — the size
+    list to serialize a scheme against before randomizing that data. *)

@@ -1,0 +1,55 @@
+open Ppdm_data
+
+type t = {
+  scheme : Randomizer.t;
+  itemset : Itemset.t;
+  k : int;
+  by_size : (int, int array) Hashtbl.t;
+  mutable observed : int;
+}
+
+let create ~scheme ~itemset =
+  {
+    scheme;
+    itemset;
+    k = Itemset.cardinal itemset;
+    by_size = Hashtbl.create 8;
+    observed = 0;
+  }
+
+let itemset t = t.itemset
+let observed t = t.observed
+
+let slot t size =
+  match Hashtbl.find_opt t.by_size size with
+  | Some counts -> counts
+  | None ->
+      let counts = Array.make (t.k + 1) 0 in
+      Hashtbl.replace t.by_size size counts;
+      counts
+
+let observe t ~size y =
+  let counts = slot t size in
+  let l' = Itemset.inter_size t.itemset y in
+  counts.(l') <- counts.(l') + 1;
+  t.observed <- t.observed + 1
+
+let observe_all t data = Array.iter (fun (size, y) -> observe t ~size y) data
+
+let merge_into t ~from =
+  if not (Itemset.equal t.itemset from.itemset) then
+    invalid_arg "Stream.merge_into: itemset mismatch";
+  Hashtbl.iter
+    (fun size counts ->
+      let mine = slot t size in
+      Array.iteri (fun l c -> mine.(l) <- mine.(l) + c) counts)
+    from.by_size;
+  t.observed <- t.observed + from.observed
+
+let estimate t =
+  if t.observed = 0 then invalid_arg "Stream.estimate: no observations yet";
+  let counts =
+    List.sort compare
+      (Hashtbl.fold (fun size c acc -> (size, Array.copy c) :: acc) t.by_size [])
+  in
+  Estimator.estimate_from_counts ~scheme:t.scheme ~k:t.k ~counts

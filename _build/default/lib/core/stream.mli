@@ -1,0 +1,33 @@
+(** Online support recovery over a stream of randomized transactions.
+
+    The estimator's sufficient statistic is tiny — per original
+    transaction size, the histogram of [|y ∩ A|] — so a server can track
+    an itemset's support over an unbounded stream in O(k · #sizes) memory,
+    and aggregators can {!merge} partial accumulators (the statistic is a
+    sum).  Results are bit-identical to batch {!Estimator.estimate} over
+    the same observations. *)
+
+open Ppdm_data
+
+type t
+(** A mutable accumulator for one (scheme, itemset) pair. *)
+
+val create : scheme:Randomizer.t -> itemset:Itemset.t -> t
+
+val itemset : t -> Itemset.t
+
+val observed : t -> int
+(** Number of transactions absorbed so far. *)
+
+val observe : t -> size:int -> Itemset.t -> unit
+(** Absorb one randomized transaction tagged with its original size. *)
+
+val observe_all : t -> (int * Itemset.t) array -> unit
+
+val merge_into : t -> from:t -> unit
+(** [merge_into acc ~from] adds [from]'s statistic to [acc] (for
+    distributed aggregation).  [from] is unchanged.
+    @raise Invalid_argument if the itemsets differ. *)
+
+val estimate : t -> Estimator.t
+(** Current estimate.  @raise Invalid_argument before any observation. *)

@@ -1,0 +1,51 @@
+open Ppdm_linalg
+
+let probability (r : Randomizer.resolved) ~k ~l ~l' =
+  let m = Array.length r.keep_dist - 1 in
+  if l < 0 || l > min k m then
+    invalid_arg "Transition.probability: l out of range";
+  if l' < 0 || l' > k then invalid_arg "Transition.probability: l' out of range";
+  let acc = ref 0. in
+  for j = 0 to m do
+    let pj = r.keep_dist.(j) in
+    if pj > 0. then begin
+      (* q = kept items of A; needs q <= l, q <= j, and the binomial term
+         needs l' - q in [0, k - l]. *)
+      let q_lo = max 0 (l' - (k - l)) and q_hi = min l (min j l') in
+      for q = q_lo to q_hi do
+        let keep = Binomial.hypergeom_pmf ~total:m ~good:l ~draws:j q in
+        if keep > 0. then
+          acc :=
+            !acc
+            +. (pj *. keep *. Binomial.binomial_pmf ~n:(k - l) ~p:r.rho (l' - q))
+      done
+    end
+  done;
+  !acc
+
+let rect_matrix (r : Randomizer.resolved) ~k =
+  if k < 0 then invalid_arg "Transition.rect_matrix: negative k";
+  let m = Array.length r.keep_dist - 1 in
+  let cols = min k m + 1 in
+  Mat.init ~rows:(k + 1) ~cols (fun l' l -> probability r ~k ~l ~l')
+
+let matrix (r : Randomizer.resolved) ~k =
+  let m = Array.length r.keep_dist - 1 in
+  if k > m then
+    invalid_arg "Transition.matrix: itemset larger than transaction size";
+  rect_matrix r ~k
+
+let of_scheme scheme ~size ~k = matrix (Randomizer.resolve scheme ~size) ~k
+
+let is_column_stochastic ?(tolerance = 1e-9) m =
+  let ok = ref true in
+  for j = 0 to Mat.cols m - 1 do
+    let sum = ref 0. in
+    for i = 0 to Mat.rows m - 1 do
+      let v = Mat.get m i j in
+      if v < -.tolerance then ok := false;
+      sum := !sum +. v
+    done;
+    if Float.abs (!sum -. 1.) > tolerance then ok := false
+  done;
+  !ok

@@ -1,0 +1,36 @@
+(** Transition matrices of randomization operators on partial supports.
+
+    Fix a [k]-itemset [A] and a transaction size [m].  A transaction with
+    [l = |t ∩ A|] yields a randomized output with [l' = |R(t) ∩ A|]
+    distributed as
+
+    [P(l' | l) = Σ_j p_j · Σ_q Hyp(q; m, l, j) · Bin(l' - q; k - l, ρ)]
+
+    (keep [q] of the [l] in-transaction items of [A], add noise on the
+    [k - l] out-of-transaction ones).  The matrix [P] with entry [(l', l)]
+    is column-stochastic; support recovery is [s = P⁻¹ ŝ'].  Everything is
+    computed in log space through {!Ppdm_linalg.Binomial}. *)
+
+open Ppdm_linalg
+
+val probability : Randomizer.resolved -> k:int -> l:int -> l':int -> float
+(** One entry [P(l' | l)].  [l] must not exceed [min (k, m)]; [l'] ranges
+    over [0..k]. *)
+
+val matrix : Randomizer.resolved -> k:int -> Mat.t
+(** Square [(k+1) × (k+1)] matrix, entry [(l', l) = P(l' | l)].  Requires
+    [k <= m] (every partial-support level realizable).
+    @raise Invalid_argument otherwise — use {!rect_matrix} for small
+    transactions. *)
+
+val rect_matrix : Randomizer.resolved -> k:int -> Mat.t
+(** Rectangular [(k+1) × (min(k,m)+1)] matrix for transactions smaller
+    than the itemset: columns only for realizable [l].  Equal to
+    {!matrix} when [k <= m]. *)
+
+val of_scheme : Randomizer.t -> size:int -> k:int -> Mat.t
+(** {!matrix} of the operator a scheme uses at [size]. *)
+
+val is_column_stochastic : ?tolerance:float -> Mat.t -> bool
+(** Sanity check used by the test suite: all entries non-negative and
+    every column summing to 1 within the tolerance (default 1e-9). *)

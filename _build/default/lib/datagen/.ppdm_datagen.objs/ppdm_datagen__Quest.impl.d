@@ -1,0 +1,1 @@
+lib/datagen/quest.ml: Array Db Dist Float Hashtbl Itemset Ppdm_data Ppdm_prng Rng Seq

@@ -1,0 +1,1 @@
+lib/datagen/quest.mli: Db Ppdm_data Ppdm_prng Rng

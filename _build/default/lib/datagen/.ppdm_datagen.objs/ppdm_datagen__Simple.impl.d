@@ -1,0 +1,1 @@
+lib/datagen/simple.ml: Array Db Dist Float Fun Hashtbl Itemset Ppdm_data Ppdm_prng Rng Seq

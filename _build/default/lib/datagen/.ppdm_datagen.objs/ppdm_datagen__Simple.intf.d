@@ -1,0 +1,1 @@
+lib/datagen/simple.mli: Db Itemset Ppdm_data Ppdm_prng Rng

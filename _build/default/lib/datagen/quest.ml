@@ -1,0 +1,117 @@
+open Ppdm_prng
+open Ppdm_data
+
+type params = {
+  universe : int;
+  n_transactions : int;
+  avg_transaction_size : float;
+  n_patterns : int;
+  avg_pattern_size : float;
+  correlation : float;
+  corruption_mean : float;
+}
+
+let default =
+  {
+    universe = 1000;
+    n_transactions = 10_000;
+    avg_transaction_size = 10.;
+    n_patterns = 200;
+    avg_pattern_size = 4.;
+    correlation = 0.5;
+    corruption_mean = 0.5;
+  }
+
+type pattern = { items : int array; corruption : float }
+
+let validate p =
+  if p.universe <= 0 then invalid_arg "Quest: universe must be positive";
+  if p.n_transactions < 0 then invalid_arg "Quest: negative transaction count";
+  if p.n_patterns <= 0 then invalid_arg "Quest: need at least one pattern";
+  if p.avg_transaction_size <= 0. || p.avg_pattern_size <= 0. then
+    invalid_arg "Quest: average sizes must be positive";
+  if p.correlation < 0. || p.correlation > 1. then
+    invalid_arg "Quest: correlation out of [0,1]";
+  if p.corruption_mean < 0. || p.corruption_mean > 1. then
+    invalid_arg "Quest: corruption mean out of [0,1]"
+
+(* Pattern pool: sizes are Poisson(avg_pattern_size); a [correlation]
+   fraction of each pattern's items comes from the previous pattern, the
+   rest are picked uniformly.  Weights are exponential, corruption levels
+   are clipped normals centred at [corruption_mean] — all per the original
+   description. *)
+let make_patterns rng p =
+  let previous = ref [||] in
+  let make_one _ =
+    let size = min p.universe (max 1 (Dist.poisson rng ~mean:p.avg_pattern_size)) in
+    let from_prev =
+      if Array.length !previous = 0 then 0
+      else
+        min
+          (Array.length !previous)
+          (int_of_float (Float.round (p.correlation *. float_of_int size)))
+    in
+    let inherited = Dist.subset rng ~k:from_prev !previous in
+    let seen = Hashtbl.create (2 * size) in
+    Array.iter (fun x -> Hashtbl.replace seen x ()) inherited;
+    while Hashtbl.length seen < size do
+      Hashtbl.replace seen (Rng.int rng p.universe) ()
+    done;
+    let items =
+      Array.of_seq (Seq.map fst (Hashtbl.to_seq seen))
+    in
+    Array.sort compare items;
+    previous := items;
+    let corruption =
+      Float.max 0.
+        (Float.min 1.
+           (Dist.normal rng ~mean:p.corruption_mean ~std:(sqrt 0.1)))
+    in
+    { items; corruption }
+  in
+  let patterns = Array.init p.n_patterns make_one in
+  let weights = Array.init p.n_patterns (fun _ -> Dist.exponential rng ~rate:1.) in
+  (patterns, Dist.discrete weights)
+
+(* One transaction: draw a target size, then keep picking weighted patterns,
+   corrupting each (dropping items while a uniform stays below the pattern's
+   corruption level).  A pattern that overflows the remaining budget is
+   added anyway half the time (as in the original), otherwise dropped and
+   the transaction is closed. *)
+let make_transaction rng p patterns chooser =
+  let target =
+    min p.universe (max 1 (Dist.poisson rng ~mean:p.avg_transaction_size))
+  in
+  let acc = Hashtbl.create (2 * target) in
+  let closed = ref false in
+  while (not !closed) && Hashtbl.length acc < target do
+    let pat = patterns.(Dist.discrete_sample rng chooser) in
+    let kept = ref (Array.copy pat.items) in
+    let dropping = ref true in
+    while !dropping && Array.length !kept > 0 do
+      if Rng.float rng < pat.corruption then begin
+        let a = !kept in
+        let i = Rng.int rng (Array.length a) in
+        a.(i) <- a.(Array.length a - 1);
+        kept := Array.sub a 0 (Array.length a - 1)
+      end
+      else dropping := false
+    done;
+    let kept = !kept in
+    let remaining = target - Hashtbl.length acc in
+    if Array.length kept <= remaining then
+      Array.iter (fun x -> Hashtbl.replace acc x ()) kept
+    else if Rng.bool rng then begin
+      Array.iter (fun x -> Hashtbl.replace acc x ()) kept;
+      closed := true
+    end
+    else closed := true
+  done;
+  Itemset.of_list (Hashtbl.fold (fun k () l -> k :: l) acc [])
+
+let generate rng p =
+  validate p;
+  let patterns, chooser = make_patterns rng p in
+  Db.create ~universe:p.universe
+    (Array.init p.n_transactions (fun _ ->
+         make_transaction rng p patterns chooser))

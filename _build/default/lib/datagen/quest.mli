@@ -1,0 +1,30 @@
+(** IBM Quest-style synthetic market-basket generator (Agrawal & Srikant,
+    VLDB 1994), re-implemented from the published description.  This is the
+    workload family the original privacy-preserving-mining experiments used
+    (T5.I2, T10.I4, ... style datasets) and stands in for the closed-source
+    Quest [gen] binary. *)
+
+open Ppdm_prng
+open Ppdm_data
+
+type params = {
+  universe : int;  (** number of distinct items, [N] *)
+  n_transactions : int;  (** database size, [|D|] *)
+  avg_transaction_size : float;  (** [|T|], Poisson mean *)
+  n_patterns : int;  (** size of the pattern pool, [|L|] *)
+  avg_pattern_size : float;  (** [|I|], Poisson mean *)
+  correlation : float;
+      (** fraction of each pattern drawn from its predecessor (0.5 in the
+          original generator) *)
+  corruption_mean : float;
+      (** mean of the per-pattern corruption level (0.5 originally) *)
+}
+
+val default : params
+(** T10.I4 over 1000 items, 10k transactions, 200 patterns — a scaled-down
+    version of the classical T10.I4.D100K. *)
+
+val generate : Rng.t -> params -> Db.t
+(** Generate a database.  Deterministic given the generator state.
+    @raise Invalid_argument on non-positive sizes or parameters outside
+    their documented ranges. *)

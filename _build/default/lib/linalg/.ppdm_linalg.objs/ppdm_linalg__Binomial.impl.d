@@ -1,0 +1,1 @@
+lib/linalg/binomial.ml: Array

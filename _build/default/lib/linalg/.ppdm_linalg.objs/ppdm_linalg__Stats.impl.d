@@ -1,0 +1,1 @@
+lib/linalg/stats.ml: Array Float

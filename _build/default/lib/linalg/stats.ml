@@ -1,0 +1,98 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.variance: need at least two samples";
+  let m = mean xs in
+  let acc = ref 0. in
+  Array.iter
+    (fun x ->
+      let d = x -. m in
+      acc := !acc +. (d *. d))
+    xs;
+  !acc /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let covariance xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Stats.covariance: length mismatch";
+  if n < 2 then invalid_arg "Stats.covariance: need at least two samples";
+  let mx = mean xs and my = mean ys in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+  done;
+  !acc /. float_of_int (n - 1)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let chi_square_uniform counts =
+  let buckets = Array.length counts in
+  if buckets = 0 then invalid_arg "Stats.chi_square_uniform: no buckets";
+  let total = Array.fold_left ( + ) 0 counts in
+  let expected = float_of_int total /. float_of_int buckets in
+  if expected <= 0. then invalid_arg "Stats.chi_square_uniform: empty sample";
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0. counts
+
+let rmse xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Stats.rmse: length mismatch";
+  if n = 0 then invalid_arg "Stats.rmse: empty sample";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let d = xs.(i) -. ys.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+(* Acklam's inverse-normal-CDF approximation: three rational pieces. *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Stats.normal_quantile: argument must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let tail q sign =
+    let u = sqrt (-2. *. log q) in
+    sign
+    *. ((((((c.(0) *. u) +. c.(1)) *. u +. c.(2)) *. u +. c.(3)) *. u +. c.(4)) *. u +. c.(5))
+    /. ((((d.(0) *. u +. d.(1)) *. u +. d.(2)) *. u +. d.(3)) *. u +. 1.)
+  in
+  if p < p_low then tail p 1.
+  else if p > 1. -. p_low then tail (1. -. p) (-1.)
+  else begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    q
+    *. ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+  end

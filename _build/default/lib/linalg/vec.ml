@@ -1,0 +1,43 @@
+type t = float array
+
+let create n = Array.make n 0.
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch" name)
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale c = Array.map (fun x -> c *. x)
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let sum = Array.fold_left ( +. ) 0.
+let norm2 a = sqrt (dot a a)
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0. a
+
+let max_abs_diff a b =
+  check_dims "max_abs_diff" a b;
+  norm_inf (sub a b)
+
+let pp fmt v =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x -> Format.fprintf fmt "%s%g" (if i = 0 then "" else "; ") x)
+    v;
+  Format.fprintf fmt "|]"

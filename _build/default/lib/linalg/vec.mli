@@ -1,0 +1,37 @@
+(** Dense float vectors. *)
+
+type t = float array
+(** A vector is a plain float array; the module adds checked algebra. *)
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+
+val dim : t -> int
+
+val copy : t -> t
+
+val add : t -> t -> t
+(** Element-wise sum; dimensions must agree. *)
+
+val sub : t -> t -> t
+(** Element-wise difference; dimensions must agree. *)
+
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+(** Inner product; dimensions must agree. *)
+
+val sum : t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Maximum absolute entry (0 for the empty vector). *)
+
+val max_abs_diff : t -> t -> float
+(** L-infinity distance between two vectors of equal dimension. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mining/apriori.ml: Array Count Db Float Hashtbl Itemset List Option Ppdm_data Seq

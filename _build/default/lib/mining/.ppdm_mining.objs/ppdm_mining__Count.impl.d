@@ -1,0 +1,1 @@
+lib/mining/count.ml: Array Db Hashtbl Itemset List Ppdm_data

@@ -1,0 +1,1 @@
+lib/mining/count.mli: Db Itemset Ppdm_data

@@ -1,0 +1,1 @@
+lib/mining/eclat.ml: Array Db Float Fun Itemset List Option Ppdm_data

@@ -1,0 +1,1 @@
+lib/mining/eclat.mli: Db Itemset Ppdm_data

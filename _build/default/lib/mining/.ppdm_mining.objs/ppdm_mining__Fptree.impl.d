@@ -1,0 +1,1 @@
+lib/mining/fptree.ml: Array Db Float Hashtbl Itemset List Option Ppdm_data

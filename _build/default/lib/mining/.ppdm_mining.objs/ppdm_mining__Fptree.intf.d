@@ -1,0 +1,1 @@
+lib/mining/fptree.mli: Db Itemset Ppdm_data

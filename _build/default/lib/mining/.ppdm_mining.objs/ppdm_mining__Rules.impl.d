@@ -1,0 +1,1 @@
+lib/mining/rules.ml: Float Format Hashtbl Itemset List Ppdm_data

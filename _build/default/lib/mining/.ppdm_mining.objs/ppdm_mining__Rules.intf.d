@@ -1,0 +1,1 @@
+lib/mining/rules.mli: Format Itemset Ppdm_data

@@ -1,0 +1,1 @@
+lib/mining/summarize.ml: Hashtbl Itemset List Ppdm_data

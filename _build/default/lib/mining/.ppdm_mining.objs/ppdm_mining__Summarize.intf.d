@@ -1,0 +1,1 @@
+lib/mining/summarize.mli: Itemset Ppdm_data

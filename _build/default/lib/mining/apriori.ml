@@ -1,0 +1,84 @@
+open Ppdm_data
+
+(* Self-join: two (k-1)-itemsets sharing their first k-2 items produce a
+   k-candidate; the prune then requires every (k-1)-subset to be frequent. *)
+let candidates_from ~frequent ~size =
+  if size < 2 then invalid_arg "Apriori.candidates_from: size must be >= 2";
+  let known = Hashtbl.create (2 * List.length frequent) in
+  List.iter (fun s -> Hashtbl.replace known s ()) frequent;
+  let arrays = List.map Itemset.to_array frequent in
+  let sorted =
+    List.sort compare (List.filter (fun a -> Array.length a = size - 1) arrays)
+  in
+  let shares_prefix a b =
+    let ok = ref true in
+    for i = 0 to size - 3 do
+      if a.(i) <> b.(i) then ok := false
+    done;
+    !ok
+  in
+  let all_subsets_frequent candidate =
+    let ok = ref true in
+    let k = Array.length candidate in
+    for drop = 0 to k - 1 do
+      if !ok then begin
+        let sub =
+          Array.init (k - 1) (fun i -> if i < drop then candidate.(i) else candidate.(i + 1))
+        in
+        if not (Hashtbl.mem known (Itemset.of_sorted_array_unchecked sub)) then
+          ok := false
+      end
+    done;
+    !ok
+  in
+  let rec join acc = function
+    | [] -> acc
+    | a :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc b ->
+              if shares_prefix a b && a.(size - 2) < b.(size - 2) then begin
+                let candidate = Array.append a [| b.(size - 2) |] in
+                if all_subsets_frequent candidate then
+                  Itemset.of_sorted_array_unchecked candidate :: acc
+                else acc
+              end
+              else acc)
+            acc rest
+        in
+        join acc rest
+  in
+  List.rev (join [] sorted)
+
+let mine ?max_size db ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Apriori.mine: min_support out of (0,1]";
+  let n = Db.length db in
+  let threshold =
+    int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9))
+  in
+  let threshold = max threshold 1 in
+  let cap = Option.value max_size ~default:max_int in
+  (* Level 1 straight from the per-item counts. *)
+  let level1 =
+    Db.item_counts db |> Array.to_seqi
+    |> Seq.filter_map (fun (item, c) ->
+           if c >= threshold then Some (Itemset.singleton item, c) else None)
+    |> List.of_seq
+  in
+  let rec levels acc current size =
+    if size > cap || current = [] then acc
+    else begin
+      let candidates =
+        candidates_from ~frequent:(List.map fst current) ~size
+      in
+      if candidates = [] then acc
+      else begin
+        let counted = Count.support_counts db candidates in
+        let next = List.filter (fun (_, c) -> c >= threshold) counted in
+        levels (acc @ next) next (size + 1)
+      end
+    end
+  in
+  let result = if cap < 1 then [] else levels level1 level1 2 in
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result

@@ -1,0 +1,21 @@
+(** Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994): the
+    level-wise algorithm with candidate generation by self-join and
+    downward-closure pruning.  This is both the non-private baseline and
+    the skeleton the privacy-preserving miner re-instantiates with
+    estimated supports. *)
+
+open Ppdm_data
+
+val mine :
+  ?max_size:int -> Db.t -> min_support:float -> (Itemset.t * int) list
+(** [mine db ~min_support] returns every itemset with support (fraction of
+    transactions) at least [min_support], paired with its absolute count,
+    in {!Itemset.compare} order.  [max_size] caps the itemset cardinality
+    explored (default: unbounded).
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)
+
+val candidates_from :
+  frequent:Itemset.t list -> size:int -> Itemset.t list
+(** Candidate generation used by level [size]: self-join of the frequent
+    [(size-1)]-itemsets followed by the downward-closure prune.  Exposed
+    for the privacy-preserving miner and for tests. *)

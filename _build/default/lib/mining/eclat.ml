@@ -1,0 +1,69 @@
+open Ppdm_data
+
+(* Intersection of two sorted tid arrays. *)
+let inter_tids a b =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (min la lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    if a.(!i) = b.(!j) then begin
+      buf.(!k) <- a.(!i);
+      incr k;
+      incr i;
+      incr j
+    end
+    else if a.(!i) < b.(!j) then incr i
+    else incr j
+  done;
+  Array.sub buf 0 !k
+
+let mine ?max_size db ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Eclat.mine: min_support out of (0,1]";
+  let n = Db.length db in
+  let threshold =
+    max 1
+      (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
+  in
+  let cap = Option.value max_size ~default:max_int in
+  if cap < 1 then []
+  else begin
+    (* Build tid-sets for frequent items (tids are ascending by
+       construction of the scan). *)
+    let buckets = Array.make (Db.universe db) [] in
+    Db.iteri
+      (fun tid tx -> Itemset.iter (fun item -> buckets.(item) <- tid :: buckets.(item)) tx)
+      db;
+    let frequent_items =
+      List.filter_map Fun.id
+        (List.init (Db.universe db) (fun item ->
+             let tids = buckets.(item) in
+             if List.length tids >= threshold then
+               Some (item, Array.of_list (List.rev tids))
+             else None))
+    in
+    let results = ref [] in
+    (* DFS over prefix classes: [atoms] holds (item, tidset) pairs usable
+       to extend the current prefix, all items greater than the prefix's
+       last item. *)
+    let rec dfs prefix depth atoms =
+      List.iteri
+        (fun idx (item, tids) ->
+          let count = Array.length tids in
+          let pattern = item :: prefix in
+          results := (Itemset.of_list pattern, count) :: !results;
+          if depth < cap then begin
+            let extensions =
+              List.filteri (fun j _ -> j > idx) atoms
+              |> List.filter_map (fun (other, other_tids) ->
+                     let joint = inter_tids tids other_tids in
+                     if Array.length joint >= threshold then Some (other, joint)
+                     else None)
+            in
+            if extensions <> [] then dfs pattern (depth + 1) extensions
+          end)
+        atoms
+    in
+    dfs [] 1 frequent_items;
+    List.sort (fun (a, _) (b, _) -> Itemset.compare a b) !results
+  end

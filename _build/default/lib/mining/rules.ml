@@ -1,0 +1,63 @@
+open Ppdm_data
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : float;
+  confidence : float;
+  lift : float;
+}
+
+let generate ~frequent ~n_transactions ~min_confidence =
+  if min_confidence < 0. || min_confidence > 1. then
+    invalid_arg "Rules.generate: min_confidence out of [0,1]";
+  if n_transactions <= 0 then
+    invalid_arg "Rules.generate: n_transactions must be positive";
+  let total = float_of_int n_transactions in
+  let counts = Hashtbl.create (2 * List.length frequent) in
+  List.iter (fun (s, c) -> Hashtbl.replace counts s c) frequent;
+  let count_of s = Hashtbl.find_opt counts s in
+  let rules = ref [] in
+  List.iter
+    (fun (itemset, count) ->
+      let k = Itemset.cardinal itemset in
+      if k >= 2 then
+        for ante_size = 1 to k - 1 do
+          List.iter
+            (fun ante ->
+              match count_of ante with
+              | None -> () (* not downward-closed: skip defensively *)
+              | Some ante_count ->
+                  let confidence =
+                    float_of_int count /. float_of_int ante_count
+                  in
+                  if confidence >= min_confidence then begin
+                    let consequent = Itemset.diff itemset ante in
+                    let lift =
+                      match count_of consequent with
+                      | Some cons_count when cons_count > 0 ->
+                          confidence /. (float_of_int cons_count /. total)
+                      | _ -> Float.nan
+                    in
+                    rules :=
+                      {
+                        antecedent = ante;
+                        consequent;
+                        support = float_of_int count /. total;
+                        confidence;
+                        lift;
+                      }
+                      :: !rules
+                  end)
+            (Itemset.subsets_of_size itemset ante_size)
+        done)
+    frequent;
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.confidence a.confidence in
+      if c <> 0 then c else Float.compare b.support a.support)
+    !rules
+
+let pp_rule fmt r =
+  Format.fprintf fmt "%a => %a  (sup %.4f, conf %.3f, lift %.2f)" Itemset.pp
+    r.antecedent Itemset.pp r.consequent r.support r.confidence r.lift

@@ -1,0 +1,25 @@
+(** Association-rule generation from frequent itemsets: the consumer-facing
+    output of the mining pipeline (and of its privacy-preserving variant). *)
+
+open Ppdm_data
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : float;  (** support of antecedent ∪ consequent *)
+  confidence : float;  (** support(ante ∪ cons) / support(ante) *)
+  lift : float;  (** confidence / support(cons) *)
+}
+
+val generate :
+  frequent:(Itemset.t * int) list ->
+  n_transactions:int ->
+  min_confidence:float ->
+  rule list
+(** All rules [A => C] with [A], [C] disjoint non-empty, [A ∪ C] in the
+    frequent list, and confidence at least [min_confidence].  Requires the
+    frequent list to be downward-closed (as produced by the miners), since
+    antecedent supports are looked up there.  Rules are ordered by
+    decreasing confidence, then decreasing support. *)
+
+val pp_rule : Format.formatter -> rule -> unit

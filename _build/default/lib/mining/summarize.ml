@@ -1,0 +1,56 @@
+open Ppdm_data
+
+(* Mark the immediate subsets of every itemset: a k-itemset is non-maximal
+   if any (k+1)-superset is frequent, non-closed if additionally the
+   superset has the same count.  Enumerating each itemset's (k-1)-subsets
+   touches every cover edge exactly once. *)
+let classify frequent =
+  let non_maximal = Hashtbl.create 64 in
+  let non_closed = Hashtbl.create 64 in
+  List.iter
+    (fun (s, count) ->
+      let k = Itemset.cardinal s in
+      if k >= 2 then
+        List.iter
+          (fun sub ->
+            Hashtbl.replace non_maximal sub ();
+            ignore count)
+          (Itemset.subsets_of_size s (k - 1)))
+    frequent;
+  let counts = Hashtbl.create 64 in
+  List.iter (fun (s, c) -> Hashtbl.replace counts s c) frequent;
+  List.iter
+    (fun (s, count) ->
+      let k = Itemset.cardinal s in
+      if k >= 2 then
+        List.iter
+          (fun sub ->
+            match Hashtbl.find_opt counts sub with
+            | Some sub_count when sub_count = count ->
+                Hashtbl.replace non_closed sub ()
+            | _ -> ())
+          (Itemset.subsets_of_size s (k - 1)))
+    frequent;
+  (non_maximal, non_closed)
+
+let closed frequent =
+  let _, non_closed = classify frequent in
+  List.sort
+    (fun (a, _) (b, _) -> Itemset.compare a b)
+    (List.filter (fun (s, _) -> not (Hashtbl.mem non_closed s)) frequent)
+
+let maximal frequent =
+  let non_maximal, _ = classify frequent in
+  List.sort
+    (fun (a, _) (b, _) -> Itemset.compare a b)
+    (List.filter (fun (s, _) -> not (Hashtbl.mem non_maximal s)) frequent)
+
+let support_from_closed ~closed itemset =
+  List.fold_left
+    (fun best (s, count) ->
+      if Itemset.subset itemset s then
+        match best with
+        | Some b when b >= count -> best
+        | _ -> Some count
+      else best)
+    None closed

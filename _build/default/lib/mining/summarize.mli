@@ -1,0 +1,24 @@
+(** Condensed representations of a frequent-itemset collection.
+
+    The full frequent collection is hugely redundant; the standard
+    condensed forms are *closed* itemsets (no proper superset with the
+    same support — lossless: every frequent itemset's support is the max
+    over its closed supersets) and *maximal* itemsets (no frequent proper
+    superset — lossy but smallest).  Both operate on the output of any of
+    the miners, which is downward-closed by construction. *)
+
+open Ppdm_data
+
+val closed : (Itemset.t * int) list -> (Itemset.t * int) list
+(** Closed itemsets of a downward-closed frequent collection, in
+    {!Itemset.compare} order. *)
+
+val maximal : (Itemset.t * int) list -> (Itemset.t * int) list
+(** Maximal itemsets, in {!Itemset.compare} order.  Always a subset of
+    {!closed}. *)
+
+val support_from_closed :
+  closed:(Itemset.t * int) list -> Itemset.t -> int option
+(** Reconstruct the support of any frequent itemset from the closed
+    collection: the maximum count among closed supersets; [None] when the
+    itemset was not frequent. *)

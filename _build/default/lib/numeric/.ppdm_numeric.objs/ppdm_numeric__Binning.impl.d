@@ -1,0 +1,1 @@
+lib/numeric/binning.ml: Array Float

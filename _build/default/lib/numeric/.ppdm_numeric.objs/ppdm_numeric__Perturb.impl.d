@@ -1,0 +1,1 @@
+lib/numeric/perturb.ml: Array Binning Channel Float Ppdm

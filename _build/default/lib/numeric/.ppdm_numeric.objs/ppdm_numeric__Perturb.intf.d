@@ -1,0 +1,1 @@
+lib/numeric/perturb.mli: Binning Channel Ppdm Ppdm_prng Rng

@@ -1,0 +1,1 @@
+lib/numeric/split.ml: Array Binning Float List

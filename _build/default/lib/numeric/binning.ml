@@ -1,0 +1,39 @@
+type t = { lo : float; hi : float; count : int; width : float }
+
+let create ~lo ~hi ~count =
+  if not (lo < hi) then invalid_arg "Binning.create: need lo < hi";
+  if count < 1 then invalid_arg "Binning.create: need at least one bin";
+  { lo; hi; count; width = (hi -. lo) /. float_of_int count }
+
+let count t = t.count
+let lo t = t.lo
+let hi t = t.hi
+
+let index t v =
+  let raw = int_of_float (Float.floor ((v -. t.lo) /. t.width)) in
+  max 0 (min (t.count - 1) raw)
+
+let check_bin t i =
+  if i < 0 || i >= t.count then invalid_arg "Binning: bin out of range"
+
+let center t i =
+  check_bin t i;
+  t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+let bounds t i =
+  check_bin t i;
+  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+let counts t sample =
+  let c = Array.make t.count 0 in
+  Array.iter
+    (fun v ->
+      let i = index t v in
+      c.(i) <- c.(i) + 1)
+    sample;
+  c
+
+let histogram t sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Binning.histogram: empty sample";
+  Array.map (fun c -> float_of_int c /. float_of_int n) (counts t sample)

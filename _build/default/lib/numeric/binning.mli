@@ -1,0 +1,33 @@
+(** Equi-width binning of a numeric attribute.
+
+    The amplification framework works over finite domains, so a numeric
+    attribute (age, salary, ...) is discretized into bins before
+    randomization; the server reconstructs the *binned density*, which is
+    what the downstream mining (histograms, decision-tree splits) uses. *)
+
+type t
+(** A binning of the interval [[lo, hi)] into [count] equal-width bins. *)
+
+val create : lo:float -> hi:float -> count:int -> t
+(** @raise Invalid_argument unless [lo < hi] and [count >= 1]. *)
+
+val count : t -> int
+val lo : t -> float
+val hi : t -> float
+
+val index : t -> float -> int
+(** Bin of a value; values outside [[lo, hi)] are clamped to the first or
+    last bin (the usual histogram convention for boundary noise). *)
+
+val center : t -> int -> float
+(** Midpoint of a bin.  @raise Invalid_argument if out of range. *)
+
+val bounds : t -> int -> float * float
+(** [(lower, upper)] edges of a bin. *)
+
+val histogram : t -> float array -> float array
+(** Normalized histogram (a probability vector over bins) of a sample.
+    @raise Invalid_argument on an empty sample. *)
+
+val counts : t -> float array -> int array
+(** Raw bin counts of a sample. *)

@@ -1,0 +1,79 @@
+open Ppdm
+
+type t = { binning : Binning.t; channel : Channel.t }
+
+let laplace_like ~binning ~alpha =
+  { binning; channel = Channel.geometric_noise ~size:(Binning.count binning) ~alpha }
+
+let randomized_response ~binning ~epsilon =
+  {
+    binning;
+    channel = Channel.randomized_response ~size:(Binning.count binning) ~epsilon;
+  }
+
+let laplace_for_gamma ~binning ~gamma =
+  if gamma <= 1. then invalid_arg "Perturb.laplace_for_gamma: gamma must be > 1";
+  let size = Binning.count binning in
+  let gamma_of alpha =
+    Channel.gamma (Channel.geometric_noise ~size ~alpha)
+  in
+  (* gamma is continuous and strictly decreasing in alpha on (0,1) *)
+  let lo = ref 1e-6 and hi = ref (1. -. 1e-9) in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if gamma_of mid > gamma then lo := mid else hi := mid
+  done;
+  laplace_like ~binning ~alpha:(0.5 *. (!lo +. !hi))
+
+let binning t = t.binning
+let channel t = t.channel
+let gamma t = Channel.gamma t.channel
+let randomize t rng v = Channel.apply t.channel rng (Binning.index t.binning v)
+let randomize_all t rng values = Array.map (randomize t rng) values
+
+type reconstruction = {
+  density : float array;
+  method_ : [ `Inversion | `Em ];
+  n : int;
+}
+
+let reconstruct ?(method_ = `Em) t ~counts =
+  let n = Array.fold_left ( + ) 0 counts in
+  let density =
+    match method_ with
+    | `Em -> Channel.estimate_em t.channel ~counts
+    | `Inversion -> Channel.estimate_inversion t.channel ~counts
+  in
+  { density; method_; n }
+
+let check_density t density =
+  if Array.length density <> Binning.count t.binning then
+    invalid_arg "Perturb: density dimension mismatch"
+
+let mean_of_density t density =
+  check_density t density;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p -> acc := !acc +. (p *. Binning.center t.binning i))
+    density;
+  !acc
+
+let quantile_of_density t density q =
+  check_density t density;
+  if q < 0. || q > 1. then invalid_arg "Perturb.quantile_of_density: q out of [0,1]";
+  let total = Array.fold_left ( +. ) 0. density in
+  if total <= 0. then invalid_arg "Perturb.quantile_of_density: empty density";
+  let target = q *. total in
+  let rec walk i acc =
+    if i >= Binning.count t.binning - 1 then i
+    else if acc +. density.(i) >= target then i
+    else walk (i + 1) (acc +. density.(i))
+  in
+  let rec mass_before i acc j =
+    if j >= i then acc else mass_before i (acc +. density.(j)) (j + 1)
+  in
+  let bin = walk 0 0. in
+  let before = mass_before bin 0. 0 in
+  let inside = if density.(bin) > 0. then (target -. before) /. density.(bin) else 0.5 in
+  let lo, hi = Binning.bounds t.binning bin in
+  lo +. (Float.max 0. (Float.min 1. inside) *. (hi -. lo))

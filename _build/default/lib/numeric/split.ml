@@ -1,0 +1,80 @@
+type class_profile = { density : float array; prior : float }
+
+type split = {
+  bin : int;
+  threshold : float;
+  score : float;
+  left_mass : float;
+}
+
+type criterion = Gini | Information_gain
+
+let impurity criterion probs =
+  let total = Array.fold_left ( +. ) 0. probs in
+  if Float.abs (total -. 1.) > 1e-6 || Array.exists (fun p -> p < 0.) probs then
+    invalid_arg "Split.impurity: not a probability vector";
+  match criterion with
+  | Gini -> 1. -. Array.fold_left (fun acc p -> acc +. (p *. p)) 0. probs
+  | Information_gain ->
+      -.Array.fold_left
+          (fun acc p -> if p > 0. then acc +. (p *. log p) else acc)
+          0. probs
+
+let validate ~binning profiles =
+  if profiles = [] then invalid_arg "Split: no classes";
+  let bins = Binning.count binning in
+  List.iter
+    (fun c ->
+      if Array.length c.density <> bins then
+        invalid_arg "Split: density length does not match the binning")
+    profiles;
+  let prior_total = List.fold_left (fun acc c -> acc +. c.prior) 0. profiles in
+  if Float.abs (prior_total -. 1.) > 1e-6 then
+    invalid_arg "Split: class priors must sum to 1"
+
+(* Class-probability vector of a region given per-class mass inside it. *)
+let class_probs masses =
+  let total = Array.fold_left ( +. ) 0. masses in
+  if total <= 0. then None else Some (Array.map (fun m -> m /. total) masses)
+
+let splits ?(criterion = Gini) ~binning profiles =
+  validate ~binning profiles;
+  let bins = Binning.count binning in
+  let classes = Array.of_list profiles in
+  let n_classes = Array.length classes in
+  let parent_probs = Array.map (fun c -> c.prior) classes in
+  let parent_impurity = impurity criterion parent_probs in
+  (* weighted class mass to the left of each boundary, built incrementally *)
+  let left = Array.make n_classes 0. in
+  let out = ref [] in
+  for boundary = 0 to bins - 2 do
+    Array.iteri
+      (fun c profile ->
+        left.(c) <- left.(c) +. (profile.prior *. profile.density.(boundary)))
+      classes;
+    let right =
+      Array.mapi (fun c profile -> Float.max 0. (profile.prior -. left.(c))) classes
+    in
+    let left_mass = Array.fold_left ( +. ) 0. left in
+    let right_mass = Array.fold_left ( +. ) 0. right in
+    match (class_probs (Array.copy left), class_probs right) with
+    | Some lp, Some rp when left_mass > 0. && right_mass > 0. ->
+        let child =
+          (left_mass *. impurity criterion lp)
+          +. (right_mass *. impurity criterion rp)
+        in
+        let score = Float.max 0. (parent_impurity -. child) in
+        let threshold = snd (Binning.bounds binning boundary) in
+        out := { bin = boundary; threshold; score; left_mass } :: !out
+    | _ -> ()
+  done;
+  List.rev !out
+
+let best_split ?(criterion = Gini) ~binning profiles =
+  let candidates = splits ~criterion ~binning profiles in
+  List.fold_left
+    (fun best s ->
+      match best with
+      | Some b when b.score >= s.score -> best
+      | _ -> if s.score > 1e-12 then Some s else best)
+    None candidates

@@ -1,0 +1,39 @@
+(** Decision-tree split finding over reconstructed densities.
+
+    The classical application of numeric-attribute randomization (Agrawal
+    & Srikant, SIGMOD 2000) is training classifiers the server never sees
+    raw data for: reconstruct each class's attribute density from the
+    randomized reports, then choose split points on the *densities*.  This
+    module implements that step — given per-class bin densities and class
+    priors, evaluate every bin boundary as a split and return the best by
+    Gini impurity or information gain. *)
+
+type class_profile = {
+  density : float array;  (** bin density of the attribute within the class *)
+  prior : float;  (** class probability *)
+}
+
+type split = {
+  bin : int;  (** split between bins [bin] and [bin + 1] *)
+  threshold : float;  (** attribute value at the boundary *)
+  score : float;  (** impurity decrease (non-negative) *)
+  left_mass : float;  (** probability mass routed left *)
+}
+
+type criterion = Gini | Information_gain
+
+val impurity : criterion -> float array -> float
+(** Impurity of a class-probability vector: Gini [1 - Σ p²] or entropy
+    [-Σ p ln p].  @raise Invalid_argument unless it is a probability
+    vector (tolerance 1e-6). *)
+
+val best_split :
+  ?criterion:criterion -> binning:Binning.t -> class_profile list -> split option
+(** The boundary with the largest impurity decrease, or [None] when no
+    boundary separates anything (a single class, or all mass in one bin).
+    @raise Invalid_argument on empty input, mismatched density lengths,
+    or priors that do not sum to 1. *)
+
+val splits :
+  ?criterion:criterion -> binning:Binning.t -> class_profile list -> split list
+(** Every candidate boundary with its score, by increasing bin. *)

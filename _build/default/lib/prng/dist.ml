@@ -1,0 +1,158 @@
+let bernoulli rng p =
+  if p < 0. || p > 1. then invalid_arg "Dist.bernoulli: p out of [0,1]";
+  Rng.float rng < p
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p out of (0,1]";
+  if p = 1. then 0
+  else
+    let u = 1. -. Rng.float rng (* u in (0,1] *) in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let rec binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: negative n";
+  if p < 0. || p > 1. then invalid_arg "Dist.binomial: p out of [0,1]";
+  if p = 0. || n = 0 then 0
+  else if p = 1. then n
+  else if n <= 64 then (
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Rng.float rng < p then incr count
+    done;
+    !count)
+  else if p > 0.5 then n - binomial_tail rng ~n ~p:(1. -. p)
+  else binomial_tail rng ~n ~p
+
+(* Geometric skipping: jump between successes; expected O(np). *)
+and binomial_tail rng ~n ~p =
+  let count = ref 0 in
+  let i = ref (geometric rng ~p) in
+  while !i < n do
+    incr count;
+    i := !i + 1 + geometric rng ~p
+  done;
+  !count
+
+let rec poisson rng ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: negative mean";
+  if mean = 0. then 0
+  else if mean < 500. then (
+    let threshold = exp (-.mean) in
+    let k = ref 0 and prod = ref (Rng.float rng) in
+    while !prod > threshold do
+      incr k;
+      prod := !prod *. Rng.float rng
+    done;
+    !k)
+  else
+    (* Split large means to keep the product method in range. *)
+    poisson rng ~mean:(mean /. 2.) + poisson rng ~mean:(mean /. 2.)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (1. -. Rng.float rng) /. rate
+
+let normal rng ~mean ~std =
+  let u1 = 1. -. Rng.float rng and u2 = Rng.float rng in
+  mean +. (std *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct rng ~k ~bound =
+  if k < 0 || k > bound then invalid_arg "Dist.sample_distinct: bad k";
+  (* Floyd's algorithm: k hash operations, uniform over k-subsets. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = bound - k to bound - 1 do
+    let v = Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen v then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen v ()
+  done;
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+      out.(!idx) <- v;
+      incr idx)
+    chosen;
+  Array.sort compare out;
+  out
+
+let subset rng ~k arr =
+  let indices = sample_distinct rng ~k ~bound:(Array.length arr) in
+  Array.map (fun i -> arr.(i)) indices
+
+type discrete = { prob : float array; alias : int array }
+
+let discrete weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.discrete: empty weights";
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Dist.discrete: weights sum to zero";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Dist.discrete: negative weight")
+    weights;
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri
+    (fun i s -> if s < 1. then Queue.add i small else Queue.add i large)
+    scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Queue.add l small else Queue.add l large
+  done;
+  (* Remaining entries keep prob = 1 (self-alias); numerically exact. *)
+  { prob; alias }
+
+let discrete_sample rng { prob; alias } =
+  let n = Array.length prob in
+  let i = Rng.int rng n in
+  if Rng.float rng < prob.(i) then i else alias.(i)
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Dist.categorical: weights sum to zero";
+  let u = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) s);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf }
+
+let zipf_sample rng { cdf } =
+  let u = Rng.float rng in
+  (* First index whose CDF value exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,76 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let default_seed = 0x1E3779B97F4A7C15
+
+(* SplitMix64: used only to expand a seed into the xoshiro state, and to
+   derive split children.  Its guarantee of distinct, well-mixed outputs for
+   distinct inputs is what makes [split] streams decorrelated. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let create ?(seed = default_seed) () = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let seed = splitmix64_next state in
+  of_seed64 seed
+
+(* Non-negative 62-bit integer, convenient for OCaml's int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over 62-bit outputs: exact uniformity. *)
+  let max62 = (1 lsl 62) - 1 in
+  let limit = max62 - (((max62 mod bound) + 1) mod bound) in
+  let rec draw () =
+    let v = bits62 t in
+    if v <= limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 high bits of a 64-bit draw, scaled to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L

@@ -1,0 +1,1 @@
+lib/transaction/bitset.ml: Array Bytes Char Itemset Lazy List Printf

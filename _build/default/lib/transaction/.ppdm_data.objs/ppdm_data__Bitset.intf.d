@@ -1,0 +1,1 @@
+lib/transaction/bitset.mli: Format Itemset

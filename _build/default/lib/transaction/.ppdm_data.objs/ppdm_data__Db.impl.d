@@ -1,0 +1,1 @@
+lib/transaction/db.ml: Array Float Hashtbl Itemset List Option

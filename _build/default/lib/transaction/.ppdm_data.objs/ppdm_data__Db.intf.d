@@ -1,0 +1,1 @@
+lib/transaction/db.mli: Itemset

@@ -1,0 +1,1 @@
+lib/transaction/io.ml: Array Db Fun Itemset List Printf String

@@ -1,0 +1,1 @@
+lib/transaction/io.mli: Db

@@ -1,0 +1,1 @@
+lib/transaction/itemset.ml: Array Format Hashtbl List

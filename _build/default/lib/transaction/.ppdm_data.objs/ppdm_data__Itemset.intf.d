@@ -1,0 +1,1 @@
+lib/transaction/itemset.mli: Format

@@ -1,0 +1,110 @@
+(* 62 bits per word keeps all arithmetic well inside OCaml's 63-bit ints. *)
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+let words_for width = (width + bits_per_word - 1) / bits_per_word
+
+let create ~width =
+  if width <= 0 then invalid_arg "Bitset.create: width must be positive";
+  { width; words = Array.make (words_for width) 0 }
+
+let width t = t.width
+
+let check_item t item =
+  if item < 0 || item >= t.width then
+    invalid_arg "Bitset: item outside the width"
+
+let mem item t =
+  check_item t item;
+  t.words.(item / bits_per_word) lsr (item mod bits_per_word) land 1 = 1
+
+let add item t =
+  check_item t item;
+  let words = Array.copy t.words in
+  let w = item / bits_per_word in
+  words.(w) <- words.(w) lor (1 lsl (item mod bits_per_word));
+  { t with words }
+
+let remove item t =
+  check_item t item;
+  let words = Array.copy t.words in
+  let w = item / bits_per_word in
+  words.(w) <- words.(w) land lnot (1 lsl (item mod bits_per_word));
+  { t with words }
+
+let of_itemset ~width set =
+  let t = create ~width in
+  Itemset.iter
+    (fun item ->
+      if item >= width then invalid_arg "Bitset.of_itemset: item outside width";
+      let w = item / bits_per_word in
+      t.words.(w) <- t.words.(w) lor (1 lsl (item mod bits_per_word)))
+    set;
+  t
+
+(* 16-bit popcount table: 4-5 lookups per word. *)
+let popcount_table =
+  lazy
+    (let table = Bytes.create 65536 in
+     for i = 0 to 65535 do
+       let rec bits v = if v = 0 then 0 else (v land 1) + bits (v lsr 1) in
+       Bytes.unsafe_set table i (Char.chr (bits i))
+     done;
+     table)
+
+let popcount word =
+  let table = Lazy.force popcount_table in
+  let count = ref 0 and v = ref word in
+  while !v <> 0 do
+    count := !count + Char.code (Bytes.unsafe_get table (!v land 0xFFFF));
+    v := !v lsr 16
+  done;
+  !count
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let check_widths name a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bitset.%s: width mismatch" name)
+
+let zip name f a b =
+  check_widths name a b;
+  { a with words = Array.mapi (fun i w -> f w b.words.(i)) a.words }
+
+let union = zip "union" ( lor )
+let inter = zip "inter" ( land )
+let diff = zip "diff" (fun x y -> x land lnot y)
+
+let inter_cardinal a b =
+  check_widths "inter_cardinal" a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let subset a b =
+  check_widths "subset" a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let equal a b = a.width = b.width && a.words = b.words
+let is_empty t = Array.for_all (( = ) 0) t.words
+
+let fold f t init =
+  let acc = ref init in
+  for item = 0 to t.width - 1 do
+    if t.words.(item / bits_per_word) lsr (item mod bits_per_word) land 1 = 1
+    then acc := f item !acc
+  done;
+  !acc
+
+let to_itemset t =
+  Itemset.of_sorted_array_unchecked
+    (Array.of_list (List.rev (fold (fun i acc -> i :: acc) t [])))
+
+let pp fmt t = Itemset.pp fmt (to_itemset t)

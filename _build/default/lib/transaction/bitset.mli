@@ -1,0 +1,42 @@
+(** Fixed-width bitsets over the item universe: the dense counterpart of
+    {!Itemset} for workloads where transactions cover a large fraction of
+    the universe (dense databases, small universes).  Provides the same
+    set algebra with word-parallel operations and popcount-based
+    cardinalities. *)
+
+type t
+(** A mutable-free bitset of a fixed [width]; items are [0..width-1]. *)
+
+val create : width:int -> t
+(** The empty bitset.  @raise Invalid_argument if [width <= 0]. *)
+
+val width : t -> int
+
+val of_itemset : width:int -> Itemset.t -> t
+(** @raise Invalid_argument if an item is outside [0..width-1]. *)
+
+val to_itemset : t -> Itemset.t
+
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+
+val cardinal : t -> int
+(** Population count. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val inter_cardinal : t -> t -> int
+(** [cardinal (inter a b)] without allocating the intersection — the hot
+    operation of dense partial-support counting. *)
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val is_empty : t -> bool
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order. *)
+
+val pp : Format.formatter -> t -> unit

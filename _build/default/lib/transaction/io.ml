@@ -1,0 +1,117 @@
+let write_channel oc db =
+  Printf.fprintf oc "universe %d transactions %d\n" (Db.universe db)
+    (Db.length db);
+  Db.iter
+    (fun tx ->
+      let items = Itemset.to_array tx in
+      Array.iteri
+        (fun i x ->
+          if i > 0 then output_char oc ' ';
+          output_string oc (string_of_int x))
+        items;
+      output_char oc '\n')
+    db
+
+let write_file path db =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc db)
+
+let parse_header line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "universe"; n; "transactions"; count ] -> (
+      match (int_of_string_opt n, int_of_string_opt count) with
+      | Some n, Some count when n > 0 && count >= 0 -> (n, count)
+      | _ -> failwith "Io.read: malformed header values")
+  | _ -> failwith "Io.read: malformed header"
+
+let parse_transaction ~universe line =
+  let tokens =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  let items =
+    List.map
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some x when x >= 0 && x < universe -> x
+        | Some _ -> failwith "Io.read: item outside the declared universe"
+        | None -> failwith (Printf.sprintf "Io.read: bad item %S" tok))
+      tokens
+  in
+  Itemset.of_list items
+
+let read_channel ic =
+  let header =
+    try input_line ic with End_of_file -> failwith "Io.read: empty input"
+  in
+  let universe, count = parse_header header in
+  let transactions =
+    Array.init count (fun _ ->
+        let line =
+          try input_line ic
+          with End_of_file -> failwith "Io.read: fewer transactions than declared"
+        in
+        parse_transaction ~universe line)
+  in
+  Db.create ~universe transactions
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel ic)
+
+let write_fimi path db =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Db.iter
+        (fun tx ->
+          let items = Itemset.to_array tx in
+          Array.iteri
+            (fun i x ->
+              if i > 0 then output_char oc ' ';
+              output_string oc (string_of_int x))
+            items;
+          output_char oc '\n')
+        db)
+
+let read_fimi ?universe path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let transactions = ref [] in
+      let max_item = ref (-1) in
+      (try
+         while true do
+           let line = input_line ic in
+           let tokens =
+             List.filter (fun s -> s <> "")
+               (String.split_on_char ' ' (String.trim line))
+           in
+           let items =
+             List.map
+               (fun tok ->
+                 match int_of_string_opt tok with
+                 | Some x when x >= 0 ->
+                     if x > !max_item then max_item := x;
+                     x
+                 | _ -> failwith (Printf.sprintf "Io.read_fimi: bad item %S" tok))
+               tokens
+           in
+           transactions := Itemset.of_list items :: !transactions
+         done
+       with End_of_file -> ());
+      let inferred = max 1 (!max_item + 1) in
+      let universe =
+        match universe with
+        | None -> inferred
+        | Some u ->
+            if u < inferred then
+              failwith "Io.read_fimi: item outside the declared universe";
+            u
+      in
+      Db.create ~universe (Array.of_list (List.rev !transactions)))

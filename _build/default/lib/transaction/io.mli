@@ -1,0 +1,29 @@
+(** Plain-text serialization of transaction databases.
+
+    Format: a header line ["universe <n> transactions <count>"] followed by
+    one line per transaction of space-separated item ids (an empty
+    transaction is an empty line).  Human-inspectable and diff-friendly. *)
+
+val write_channel : out_channel -> Db.t -> unit
+val write_file : string -> Db.t -> unit
+
+val read_channel : in_channel -> Db.t
+(** @raise Failure on malformed input (bad header, non-integer item,
+    item outside the declared universe, wrong transaction count). *)
+
+val read_file : string -> Db.t
+
+(** {1 FIMI format}
+
+    The header-less format of the FIMI repository datasets
+    (fimi.uantwerpen.be): one transaction per line, space-separated item
+    ids, nothing else.  The universe is not declared, so reading infers it
+    as [max item + 1] (or takes an explicit override for compatibility
+    with a known dataset). *)
+
+val write_fimi : string -> Db.t -> unit
+
+val read_fimi : ?universe:int -> string -> Db.t
+(** @raise Failure on non-integer tokens or (when [universe] is given)
+    items outside it.  An empty file yields an empty database over a
+    1-item universe. *)

@@ -1,0 +1,1 @@
+test/test_accountant.ml: Accountant Alcotest Amplification Float Gen List Ppdm QCheck QCheck_alcotest Test

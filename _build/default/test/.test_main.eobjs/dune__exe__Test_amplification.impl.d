@@ -1,0 +1,1 @@
+test/test_amplification.ml: Alcotest Amplification Array Binomial Breach Estimator Float Gen List Ppdm Ppdm_linalg Printf QCheck QCheck_alcotest Randomizer Test

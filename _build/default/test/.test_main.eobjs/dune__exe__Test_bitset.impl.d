@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Itemset List Ppdm_data QCheck QCheck_alcotest String Test

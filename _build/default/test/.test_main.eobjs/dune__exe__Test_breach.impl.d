@@ -1,0 +1,1 @@
+test/test_breach.ml: Alcotest Amplification Array Breach Db Float Itemset List Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf Randomizer Rng Simple

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Amplification Array Channel Dist Float Gen List Mat Ppdm Ppdm_linalg Ppdm_prng Printf QCheck QCheck_alcotest Rng Test Transition Vec

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Db Float Itemset Ppdm_data Ppdm_datagen Ppdm_prng Printf Quest Rng Simple

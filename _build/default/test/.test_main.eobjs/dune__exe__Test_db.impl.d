@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Db Filename Float Fun Gen Io Itemset List Ppdm_data Printf QCheck QCheck_alcotest Sys Test

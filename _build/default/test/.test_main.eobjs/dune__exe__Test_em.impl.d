@@ -1,0 +1,1 @@
+test/test_em.ml: Alcotest Array Db Em Estimator Float Itemset List Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf QCheck QCheck_alcotest Randomizer Rng Simple Test

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array Db Estimator Float Itemset List Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_linalg Ppdm_prng Printf Randomizer Rng Simple

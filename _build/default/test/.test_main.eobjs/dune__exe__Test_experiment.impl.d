@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Amplification Experiment Float Hashtbl List Option Ppdm Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Char Db Filename Fun Io Itemset List Ppdm Ppdm_data Printf QCheck QCheck_alcotest Randomizer Scheme_io String Sys Test

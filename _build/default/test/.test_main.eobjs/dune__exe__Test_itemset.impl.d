@@ -1,0 +1,1 @@
+test/test_itemset.ml: Alcotest Int Itemset List Ppdm_data QCheck QCheck_alcotest Set String Test

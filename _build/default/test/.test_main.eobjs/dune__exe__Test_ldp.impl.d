@@ -1,0 +1,1 @@
+test/test_ldp.ml: Alcotest Amplification Breach Estimator Float Itemset Ldp List Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf QCheck QCheck_alcotest Randomizer Rng Test

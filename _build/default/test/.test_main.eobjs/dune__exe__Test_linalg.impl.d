@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Binomial Float Format List Lu Mat Ppdm_linalg Printf QCheck QCheck_alcotest Stats Test Vec

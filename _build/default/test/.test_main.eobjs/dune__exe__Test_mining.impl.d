@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Apriori Array Count Db Eclat Float Fptree Fun Hashtbl Itemset List Ppdm_data Ppdm_mining Printf QCheck QCheck_alcotest Rules String Test

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Amplification Array Binning Dist Float List Perturb Ppdm Ppdm_numeric Ppdm_prng Printf QCheck QCheck_alcotest Rng Test

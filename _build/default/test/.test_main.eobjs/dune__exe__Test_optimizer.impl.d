@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Amplification Array Breach Estimator Float List Optimizer Ppdm Ppdm_linalg Printf QCheck QCheck_alcotest Randomizer Test

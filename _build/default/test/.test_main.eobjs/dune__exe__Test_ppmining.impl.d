@@ -1,0 +1,1 @@
+test/test_ppmining.ml: Alcotest Apriori Db Estimator Float Hashtbl Itemset List Ppdm Ppdm_data Ppdm_datagen Ppdm_mining Ppdm_prng Ppmining Printf Quest Randomizer Rng Simple

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dist Float Fun Hashtbl List Option Ppdm_linalg Ppdm_prng Printf QCheck QCheck_alcotest Rng Seq Stats Test

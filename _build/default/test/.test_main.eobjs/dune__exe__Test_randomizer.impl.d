@@ -1,0 +1,1 @@
+test/test_randomizer.ml: Alcotest Array Binomial Db Float Hashtbl Itemset List Option Ppdm Ppdm_data Ppdm_datagen Ppdm_linalg Ppdm_prng Printf QCheck QCheck_alcotest Randomizer Rng Stats String Test

@@ -1,0 +1,1 @@
+test/test_scheme_io.ml: Alcotest Array Db Estimator Filename Fun Itemset List Optimizer Ppdm Ppdm_data Ppdm_datagen Ppdm_prng Printf Randomizer Rng Scheme_io String Sys

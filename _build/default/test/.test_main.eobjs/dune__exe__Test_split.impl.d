@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Array Binning Dist Gen List Perturb Ppdm_numeric Ppdm_prng Printf QCheck QCheck_alcotest Rng Split Test

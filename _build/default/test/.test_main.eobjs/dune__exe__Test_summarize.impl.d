@@ -1,0 +1,1 @@
+test/test_summarize.ml: Alcotest Apriori Array Db Gen Hashtbl Itemset List Ppdm_data Ppdm_mining Printf QCheck QCheck_alcotest String Summarize Test

@@ -1,0 +1,1 @@
+test/test_transition.ml: Alcotest Array Breach Float Fun Gen Itemset List Mat Ppdm Ppdm_data Ppdm_linalg Ppdm_prng Printf QCheck QCheck_alcotest Randomizer Rng Test Transition

@@ -1,0 +1,81 @@
+(* Privacy-accountant tests: multiplicative composition, budget
+   enforcement, and the composed posterior ceiling. *)
+
+open Ppdm
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_composition () =
+  let a = Accountant.create ~budget_gamma:100. in
+  Alcotest.(check (float 1e-12)) "fresh ledger" 1. (Accountant.spent_gamma a);
+  Alcotest.(check bool) "first release" true (ok (Accountant.charge a ~gamma:4. ~label:"q1"));
+  Alcotest.(check bool) "second release" true (ok (Accountant.charge a ~gamma:5. ~label:"q2"));
+  Alcotest.(check (float 1e-9)) "gammas multiply" 20. (Accountant.spent_gamma a);
+  Alcotest.(check (float 1e-9)) "epsilons add" (log 4. +. log 5.)
+    (Accountant.spent_epsilon a);
+  Alcotest.(check (float 1e-9)) "remaining" 5. (Accountant.remaining_gamma a);
+  Alcotest.(check (list (pair string (float 1e-12)))) "ledger order"
+    [ ("q1", 4.); ("q2", 5.) ]
+    (Accountant.releases a)
+
+let test_budget_enforced () =
+  let a = Accountant.create ~budget_gamma:10. in
+  Alcotest.(check bool) "within budget" true (ok (Accountant.charge a ~gamma:9. ~label:"big"));
+  Alcotest.(check bool) "would exceed" false (ok (Accountant.charge a ~gamma:2. ~label:"more"));
+  (* a refused charge must not be recorded *)
+  Alcotest.(check (float 1e-12)) "spent unchanged" 9. (Accountant.spent_gamma a);
+  Alcotest.(check int) "one release" 1 (List.length (Accountant.releases a));
+  (* but a small one still fits *)
+  Alcotest.(check bool) "small one fits" true
+    (ok (Accountant.charge a ~gamma:(10. /. 9.) ~label:"tiny"))
+
+let test_invalid_releases () =
+  let a = Accountant.create ~budget_gamma:10. in
+  Alcotest.(check bool) "gamma < 1 refused" false (ok (Accountant.charge a ~gamma:0.5 ~label:"x"));
+  Alcotest.(check bool) "infinite refused" false
+    (ok (Accountant.charge a ~gamma:infinity ~label:"x"));
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Accountant.create: budget_gamma must be >= 1") (fun () ->
+      ignore (Accountant.create ~budget_gamma:0.5))
+
+let test_posterior_bound_composes () =
+  let a = Accountant.create ~budget_gamma:100. in
+  ignore (Accountant.charge a ~gamma:4. ~label:"q1");
+  ignore (Accountant.charge a ~gamma:5. ~label:"q2");
+  Alcotest.(check (float 1e-12)) "bound at composed gamma"
+    (Amplification.posterior_upper_bound ~gamma:20. ~prior:0.05)
+    (Accountant.posterior_bound a ~prior:0.05)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"spent never exceeds budget" ~count:200
+      (list_of_size (Gen.int_range 0 20) (float_range 1. 5.))
+      (fun gammas ->
+        let a = Accountant.create ~budget_gamma:50. in
+        List.iteri
+          (fun i g -> ignore (Accountant.charge a ~gamma:g ~label:(string_of_int i)))
+          gammas;
+        Accountant.spent_gamma a <= 50. *. (1. +. 1e-9));
+    Test.make ~name:"spent equals product of accepted releases" ~count:200
+      (list_of_size (Gen.int_range 0 15) (float_range 1. 3.))
+      (fun gammas ->
+        let a = Accountant.create ~budget_gamma:1000. in
+        List.iteri
+          (fun i g -> ignore (Accountant.charge a ~gamma:g ~label:(string_of_int i)))
+          gammas;
+        let product =
+          List.fold_left (fun acc (_, g) -> acc *. g) 1. (Accountant.releases a)
+        in
+        Float.abs (product -. Accountant.spent_gamma a)
+        < 1e-9 *. Accountant.spent_gamma a);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "composition" `Quick test_composition;
+    Alcotest.test_case "budget enforced" `Quick test_budget_enforced;
+    Alcotest.test_case "invalid releases" `Quick test_invalid_releases;
+    Alcotest.test_case "posterior bound composes" `Quick test_posterior_bound_composes;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,99 @@
+(* Bitset tests: agreement with the sorted-array Itemset implementation on
+   every operation (the two representations must be interchangeable). *)
+
+open Ppdm_data
+
+let of_l width l = Bitset.of_itemset ~width (Itemset.of_list l)
+
+let test_roundtrip () =
+  let s = Itemset.of_list [ 0; 7; 62; 63; 100 ] in
+  let b = Bitset.of_itemset ~width:128 s in
+  Alcotest.(check (list int)) "roundtrip" (Itemset.to_list s)
+    (Itemset.to_list (Bitset.to_itemset b))
+
+let test_word_boundaries () =
+  (* items straddling the 62-bit word boundary *)
+  let b = of_l 200 [ 60; 61; 62; 63; 123; 124; 199 ] in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (string_of_int i)
+        (List.mem i [ 60; 61; 62; 63; 123; 124; 199 ])
+        (Bitset.mem i b))
+    [ 0; 59; 60; 61; 62; 63; 64; 122; 123; 124; 125; 198; 199 ];
+  Alcotest.(check int) "cardinal" 7 (Bitset.cardinal b)
+
+let test_add_remove () =
+  let b = Bitset.create ~width:70 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  let b = Bitset.add 65 b in
+  Alcotest.(check bool) "added" true (Bitset.mem 65 b);
+  Alcotest.(check int) "one" 1 (Bitset.cardinal b);
+  let b = Bitset.remove 65 b in
+  Alcotest.(check bool) "removed" true (Bitset.is_empty b)
+
+let test_validation () =
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Bitset.create: width must be positive") (fun () ->
+      ignore (Bitset.create ~width:0));
+  let b = Bitset.create ~width:10 in
+  Alcotest.check_raises "out of width"
+    (Invalid_argument "Bitset: item outside the width") (fun () ->
+      ignore (Bitset.mem 10 b));
+  Alcotest.check_raises "of_itemset out of width"
+    (Invalid_argument "Bitset.of_itemset: item outside width") (fun () ->
+      ignore (of_l 5 [ 7 ]));
+  let other = Bitset.create ~width:11 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Bitset.union: width mismatch") (fun () ->
+      ignore (Bitset.union b other))
+
+let gen_items = QCheck.Gen.(list_size (int_range 0 40) (int_range 0 149))
+
+let arb_items =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    gen_items
+
+let qcheck_tests =
+  let open QCheck in
+  let width = 150 in
+  let check2 name f_bit f_set =
+    Test.make ~name ~count:300 (pair arb_items arb_items) (fun (a, b) ->
+        let sa = Itemset.of_list a and sb = Itemset.of_list b in
+        let ba = Bitset.of_itemset ~width sa and bb = Bitset.of_itemset ~width sb in
+        Itemset.equal (Bitset.to_itemset (f_bit ba bb)) (f_set sa sb))
+  in
+  [
+    check2 "union agrees with Itemset" Bitset.union Itemset.union;
+    check2 "inter agrees with Itemset" Bitset.inter Itemset.inter;
+    check2 "diff agrees with Itemset" Bitset.diff Itemset.diff;
+    Test.make ~name:"cardinal agrees" ~count:300 arb_items (fun a ->
+        let s = Itemset.of_list a in
+        Bitset.cardinal (Bitset.of_itemset ~width s) = Itemset.cardinal s);
+    Test.make ~name:"inter_cardinal agrees" ~count:300 (pair arb_items arb_items)
+      (fun (a, b) ->
+        let sa = Itemset.of_list a and sb = Itemset.of_list b in
+        Bitset.inter_cardinal (Bitset.of_itemset ~width sa) (Bitset.of_itemset ~width sb)
+        = Itemset.inter_size sa sb);
+    Test.make ~name:"subset agrees" ~count:300 (pair arb_items arb_items)
+      (fun (a, b) ->
+        let sa = Itemset.of_list a and sb = Itemset.of_list b in
+        Bitset.subset (Bitset.of_itemset ~width sa) (Bitset.of_itemset ~width sb)
+        = Itemset.subset sa sb);
+    Test.make ~name:"fold visits members in order" ~count:300 arb_items (fun a ->
+        let s = Itemset.of_list a in
+        let b = Bitset.of_itemset ~width s in
+        List.rev (Bitset.fold (fun i acc -> i :: acc) b []) = Itemset.to_list s);
+    Test.make ~name:"equal is structural" ~count:300 arb_items (fun a ->
+        let s = Itemset.of_list a in
+        Bitset.equal (Bitset.of_itemset ~width s) (Bitset.of_itemset ~width s));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+    Alcotest.test_case "add and remove" `Quick test_add_remove;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,209 @@
+(* Transaction-database and serialization tests. *)
+
+open Ppdm_data
+
+let mk universe rows = Db.create ~universe (Array.of_list (List.map Itemset.of_list rows))
+
+let sample = mk 10 [ [ 1; 2; 3 ]; [ 2; 3 ]; [ 3; 4; 5 ]; []; [ 1; 2; 3; 9 ] ]
+
+let test_create_validation () =
+  Alcotest.check_raises "item beyond universe"
+    (Invalid_argument "Db.create: item outside the universe") (fun () ->
+      ignore (mk 3 [ [ 0; 3 ] ]));
+  Alcotest.check_raises "bad universe"
+    (Invalid_argument "Db.create: universe must be positive") (fun () ->
+      ignore (mk 0 []))
+
+let test_basics () =
+  Alcotest.(check int) "length" 5 (Db.length sample);
+  Alcotest.(check int) "universe" 10 (Db.universe sample);
+  Alcotest.(check (list int)) "get" [ 2; 3 ] (Itemset.to_list (Db.get sample 1));
+  Alcotest.(check bool) "avg size" true (Float.abs (Db.avg_size sample -. 2.4) < 1e-12)
+
+let test_support () =
+  Alcotest.(check int) "count {2,3}" 3 (Db.support_count sample (Itemset.of_list [ 2; 3 ]));
+  Alcotest.(check int) "count {3}" 4 (Db.support_count sample (Itemset.singleton 3));
+  Alcotest.(check int) "count empty = all" 5 (Db.support_count sample Itemset.empty);
+  Alcotest.(check bool) "support fraction" true
+    (Float.abs (Db.support sample (Itemset.of_list [ 2; 3 ]) -. 0.6) < 1e-12)
+
+let test_partial_supports () =
+  let counts = Db.partial_support_counts sample (Itemset.of_list [ 2; 3 ]) in
+  Alcotest.(check (array int)) "partials" [| 1; 1; 3 |] counts;
+  Alcotest.(check int) "partials sum to length" (Db.length sample)
+    (Array.fold_left ( + ) 0 counts)
+
+let test_item_counts () =
+  let counts = Db.item_counts sample in
+  Alcotest.(check int) "item 3 count" 4 counts.(3);
+  Alcotest.(check int) "item 0 count" 0 counts.(0);
+  Alcotest.(check int) "item 9 count" 1 counts.(9)
+
+let test_size_histogram () =
+  Alcotest.(check (list (pair int int))) "histogram"
+    [ (0, 1); (2, 1); (3, 2); (4, 1) ]
+    (Db.size_histogram sample)
+
+let test_map_filter_sub_append () =
+  let bumped = Db.map (Itemset.add 0) sample in
+  Alcotest.(check int) "map keeps length" 5 (Db.length bumped);
+  Alcotest.(check int) "item 0 everywhere" 5 (Db.support_count bumped (Itemset.singleton 0));
+  let nonempty = Db.filter (fun t -> not (Itemset.is_empty t)) sample in
+  Alcotest.(check int) "filter" 4 (Db.length nonempty);
+  let slice = Db.sub sample ~pos:1 ~len:2 in
+  Alcotest.(check int) "sub" 2 (Db.length slice);
+  let doubled = Db.append sample sample in
+  Alcotest.(check int) "append" 10 (Db.length doubled);
+  Alcotest.check_raises "append universe mismatch"
+    (Invalid_argument "Db.append: universe mismatch") (fun () ->
+      ignore (Db.append sample (mk 11 [])))
+
+let test_density_split_quantiles () =
+  Alcotest.(check bool) "density" true
+    (Float.abs (Db.density sample -. (12. /. 50.)) < 1e-12);
+  let a, b = Db.split sample ~at:2 in
+  Alcotest.(check int) "left" 2 (Db.length a);
+  Alcotest.(check int) "right" 3 (Db.length b);
+  Alcotest.(check (list int)) "right starts at third" [ 3; 4; 5 ]
+    (Itemset.to_list (Db.get b 0));
+  Alcotest.check_raises "bad split" (Invalid_argument "Db.split: index out of bounds")
+    (fun () -> ignore (Db.split sample ~at:6));
+  let quantiles = Db.item_frequency_quantiles sample [ 0.; 1. ] in
+  Alcotest.(check (list (float 1e-12))) "min and max item frequency"
+    [ 0.; 0.8 ] quantiles
+
+let test_io_roundtrip () =
+  let path = Filename.temp_file "ppdm_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_file path sample;
+      let back = Io.read_file path in
+      Alcotest.(check int) "universe" (Db.universe sample) (Db.universe back);
+      Alcotest.(check int) "length" (Db.length sample) (Db.length back);
+      Db.iteri
+        (fun i tx ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "transaction %d" i)
+            (Itemset.to_list tx)
+            (Itemset.to_list (Db.get back i)))
+        sample)
+
+let read_string s =
+  let path = Filename.temp_file "ppdm_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Io.read_file path)
+
+let test_io_malformed () =
+  let expect_failure msg input =
+    match read_string input with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  expect_failure "missing header" "1 2 3\n";
+  expect_failure "negative universe" "universe -1 transactions 0\n";
+  expect_failure "item outside universe" "universe 2 transactions 1\n5\n";
+  expect_failure "non-integer item" "universe 2 transactions 1\nfoo\n";
+  expect_failure "truncated body" "universe 2 transactions 2\n0\n"
+
+let test_fimi_roundtrip () =
+  let path = Filename.temp_file "ppdm_fimi" ".dat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_fimi path sample;
+      (* universe is inferred as max item + 1 = 10 here, matching sample *)
+      let back = Io.read_fimi path in
+      Alcotest.(check int) "inferred universe" 10 (Db.universe back);
+      Alcotest.(check int) "length" (Db.length sample) (Db.length back);
+      Db.iteri
+        (fun i tx ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "transaction %d" i)
+            (Itemset.to_list tx)
+            (Itemset.to_list (Db.get back i)))
+        sample;
+      (* explicit universe override *)
+      let wide = Io.read_fimi ~universe:50 path in
+      Alcotest.(check int) "override universe" 50 (Db.universe wide);
+      match Io.read_fimi ~universe:3 path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "undersized universe accepted")
+
+let test_fimi_malformed () =
+  let path = Filename.temp_file "ppdm_fimi_bad" ".dat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "1 2 x\n";
+      close_out oc;
+      match Io.read_fimi path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "bad token accepted")
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_db =
+    Gen.(
+      let* n_tx = int_range 0 20 in
+      let* rows =
+        list_size (return n_tx) (list_size (int_range 0 6) (int_range 0 9))
+      in
+      return (mk 10 rows))
+  in
+  let arb_db = make ~print:(fun db -> Printf.sprintf "<db %d>" (Db.length db)) gen_db in
+  [
+    Test.make ~name:"io round-trip preserves databases" ~count:50 arb_db
+      (fun db ->
+        let path = Filename.temp_file "ppdm_rt" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Io.write_file path db;
+            let back = Io.read_file path in
+            Db.universe back = Db.universe db
+            && Db.length back = Db.length db
+            && Array.for_all2 Itemset.equal (Db.transactions db)
+                 (Db.transactions back)));
+    Test.make ~name:"partial supports sum to db length" ~count:100
+      (pair arb_db (list_of_size (Gen.int_range 0 4) (int_range 0 9)))
+      (fun (db, items) ->
+        let a = Itemset.of_list items in
+        Array.fold_left ( + ) 0 (Db.partial_support_counts db a) = Db.length db);
+    Test.make ~name:"split then append is the identity" ~count:100
+      (pair arb_db (int_range 0 100)) (fun (db, percent) ->
+        let at = Db.length db * percent / 100 in
+        let a, b = Db.split db ~at in
+        let back = Db.append a b in
+        Db.length back = Db.length db
+        && Array.for_all2 Itemset.equal (Db.transactions back) (Db.transactions db));
+    Test.make ~name:"top partial equals support count" ~count:100
+      (pair arb_db (list_of_size (Gen.int_range 1 4) (int_range 0 9)))
+      (fun (db, items) ->
+        let a = Itemset.of_list items in
+        let partials = Db.partial_support_counts db a in
+        partials.(Itemset.cardinal a) = Db.support_count db a);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "support counting" `Quick test_support;
+    Alcotest.test_case "partial supports" `Quick test_partial_supports;
+    Alcotest.test_case "item counts" `Quick test_item_counts;
+    Alcotest.test_case "size histogram" `Quick test_size_histogram;
+    Alcotest.test_case "map/filter/sub/append" `Quick test_map_filter_sub_append;
+    Alcotest.test_case "density/split/quantiles" `Quick test_density_split_quantiles;
+    Alcotest.test_case "io round-trip" `Quick test_io_roundtrip;
+    Alcotest.test_case "io malformed inputs" `Quick test_io_malformed;
+    Alcotest.test_case "fimi round-trip" `Quick test_fimi_roundtrip;
+    Alcotest.test_case "fimi malformed" `Quick test_fimi_malformed;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

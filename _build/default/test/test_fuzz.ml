@@ -1,0 +1,100 @@
+(* Failure-injection tests: the parsers must reject arbitrary garbage with
+   their documented exceptions (Failure / Invalid_argument) — never leak
+   Not_found, End_of_file, out-of-bounds, or succeed with nonsense. *)
+
+open Ppdm_data
+open Ppdm
+
+let with_content content f =
+  let path = Filename.temp_file "ppdm_fuzz" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+(* A reader survives fuzzing when every input either parses or fails with
+   a documented exception. *)
+let survives reader content =
+  with_content content (fun path ->
+      match reader path with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true
+      | exception _ -> false)
+
+let gen_garbage =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200))
+
+let gen_almost_db =
+  (* structured-ish garbage: headers with wrong numbers, partial bodies *)
+  QCheck.Gen.(
+    let* u = int_range (-2) 20 in
+    let* c = int_range (-2) 10 in
+    let* body = list_size (int_range 0 12) (list_size (int_range 0 5) (int_range (-3) 25)) in
+    let lines =
+      List.map (fun tx -> String.concat " " (List.map string_of_int tx)) body
+    in
+    return
+      (Printf.sprintf "universe %d transactions %d\n%s\n" u c
+         (String.concat "\n" lines)))
+
+let arb gen = QCheck.make ~print:String.escaped gen
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Io.read_file survives random bytes" ~count:300
+      (arb gen_garbage) (survives Io.read_file);
+    Test.make ~name:"Io.read_file survives structured garbage" ~count:300
+      (arb gen_almost_db) (survives Io.read_file);
+    Test.make ~name:"Io.read_fimi survives random bytes" ~count:300
+      (arb gen_garbage) (survives (fun p -> Io.read_fimi p));
+    Test.make ~name:"Scheme_io.read_file survives random bytes" ~count:300
+      (arb gen_garbage) (survives Scheme_io.read_file);
+    Test.make ~name:"Scheme_io.read_file survives corrupted scheme files"
+      ~count:200
+      (arb
+         QCheck.Gen.(
+           let* rho = float_range (-1.) 2. in
+           let* m = int_range (-1) 6 in
+           let* probs = list_size (int_range 0 8) (float_range (-0.5) 1.5) in
+           return
+             (Printf.sprintf
+                "ppdm-scheme 1\nuniverse 10\nname fuzz\nsize %d rho %g keep %s\n"
+                m rho
+                (String.concat " " (List.map string_of_float probs)))))
+      (fun content ->
+        with_content content (fun path ->
+            (* reading may succeed (the file may be syntactically valid);
+               resolving must then validate the operator *)
+            match Scheme_io.read_file path with
+            | scheme -> (
+                match Randomizer.resolve scheme ~size:3 with
+                | _ -> true
+                | exception Invalid_argument _ -> true
+                | exception _ -> false)
+            | exception Failure _ -> true
+            | exception Invalid_argument _ -> true
+            | exception _ -> false));
+  ]
+
+let test_roundtrip_after_fuzz () =
+  (* sanity: a legitimate file still parses after all that *)
+  let db =
+    Db.create ~universe:6
+      (Array.of_list (List.map Itemset.of_list [ [ 0; 5 ]; []; [ 1; 2; 3 ] ]))
+  in
+  let path = Filename.temp_file "ppdm_ok" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_file path db;
+      Alcotest.(check int) "reads back" 3 (Db.length (Io.read_file path)))
+
+let suite =
+  [ Alcotest.test_case "legitimate file still parses" `Quick test_roundtrip_after_fuzz ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

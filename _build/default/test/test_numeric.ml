@@ -1,0 +1,166 @@
+(* Numeric-attribute pipeline tests: binning arithmetic, perturbation
+   privacy accounting, and density reconstruction accuracy. *)
+
+open Ppdm_prng
+open Ppdm
+open Ppdm_numeric
+
+let bins = Binning.create ~lo:0. ~hi:100. ~count:10
+
+let test_binning_basics () =
+  Alcotest.(check int) "count" 10 (Binning.count bins);
+  Alcotest.(check int) "index interior" 3 (Binning.index bins 35.);
+  Alcotest.(check int) "index edge" 4 (Binning.index bins 40.);
+  Alcotest.(check int) "clamped low" 0 (Binning.index bins (-5.));
+  Alcotest.(check int) "clamped high" 9 (Binning.index bins 250.);
+  Alcotest.(check (float 1e-9)) "center" 35. (Binning.center bins 3);
+  let lo, hi = Binning.bounds bins 3 in
+  Alcotest.(check (float 1e-9)) "bound lo" 30. lo;
+  Alcotest.(check (float 1e-9)) "bound hi" 40. hi;
+  Alcotest.check_raises "bad bin" (Invalid_argument "Binning: bin out of range")
+    (fun () -> ignore (Binning.center bins 10));
+  Alcotest.check_raises "bad range" (Invalid_argument "Binning.create: need lo < hi")
+    (fun () -> ignore (Binning.create ~lo:1. ~hi:1. ~count:3))
+
+let test_histogram () =
+  let sample = [| 5.; 15.; 15.; 95.; 200. |] in
+  let h = Binning.histogram bins sample in
+  Alcotest.(check (float 1e-12)) "bin 0" 0.2 h.(0);
+  Alcotest.(check (float 1e-12)) "bin 1" 0.4 h.(1);
+  Alcotest.(check (float 1e-12)) "bin 9 (with clamp)" 0.4 h.(9);
+  Alcotest.(check (float 1e-9)) "normalized" 1. (Array.fold_left ( +. ) 0. h)
+
+let test_gamma_accounting () =
+  let p = Perturb.randomized_response ~binning:bins ~epsilon:1.5 in
+  Alcotest.(check bool) "rr gamma = e^eps" true
+    (Float.abs (Perturb.gamma p -. exp 1.5) < 1e-9 *. exp 1.5);
+  let sharp = Perturb.laplace_like ~binning:bins ~alpha:0.3 in
+  let blurry = Perturb.laplace_like ~binning:bins ~alpha:0.7 in
+  Alcotest.(check bool) "noisier operator has smaller gamma" true
+    (Perturb.gamma blurry < Perturb.gamma sharp)
+
+let test_laplace_for_gamma () =
+  List.iter
+    (fun target ->
+      let p = Perturb.laplace_for_gamma ~binning:bins ~gamma:target in
+      Alcotest.(check bool)
+        (Printf.sprintf "target %.0f realized %.3f" target (Perturb.gamma p))
+        true
+        (Float.abs (Perturb.gamma p -. target) /. target < 1e-3))
+    [ 3.; 9.; 19.; 99. ];
+  Alcotest.check_raises "gamma <= 1"
+    (Invalid_argument "Perturb.laplace_for_gamma: gamma must be > 1") (fun () ->
+      ignore (Perturb.laplace_for_gamma ~binning:bins ~gamma:1.))
+
+let gaussian_sample rng n =
+  Array.init n (fun _ -> Dist.normal rng ~mean:55. ~std:15.)
+
+let test_reconstruction_accuracy () =
+  let rng = Rng.create ~seed:4 () in
+  let values = gaussian_sample rng 40_000 in
+  let truth = Binning.histogram bins values in
+  let p = Perturb.laplace_like ~binning:bins ~alpha:0.5 in
+  let outputs = Perturb.randomize_all p rng values in
+  let counts = Array.make (Binning.count bins) 0 in
+  Array.iter (fun y -> counts.(y) <- counts.(y) + 1) outputs;
+  List.iter
+    (fun method_ ->
+      let r = Perturb.reconstruct ~method_ p ~counts in
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bin %d: %.3f near %.3f" i r.Perturb.density.(i) t)
+            true
+            (Float.abs (r.Perturb.density.(i) -. t) < 0.02))
+        truth)
+    [ `Em; `Inversion ];
+  (* statistics recovered from the density *)
+  let r = Perturb.reconstruct p ~counts in
+  let mean = Perturb.mean_of_density p r.Perturb.density in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f near 55" mean)
+    true
+    (Float.abs (mean -. 55.) < 2.);
+  let median = Perturb.quantile_of_density p r.Perturb.density 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.1f near 55" median)
+    true
+    (Float.abs (median -. 55.) < 4.)
+
+let test_privacy_certificate_holds () =
+  (* empirical per-bin posterior never exceeds the channel's gamma bound *)
+  let rng = Rng.create ~seed:5 () in
+  let p = Perturb.laplace_like ~binning:bins ~alpha:0.6 in
+  let gamma = Perturb.gamma p in
+  let n = 20_000 in
+  let values = gaussian_sample rng n in
+  let xs = Array.map (Binning.index bins) values in
+  let ys = Array.map (fun v -> Perturb.randomize p rng v) values in
+  (* measure P(x = 3 | y) for each y and compare against the ceiling *)
+  let prior =
+    float_of_int (Array.fold_left (fun a x -> if x = 3 then a + 1 else a) 0 xs)
+    /. float_of_int n
+  in
+  let bound = Amplification.posterior_upper_bound ~gamma ~prior in
+  for y = 0 to Binning.count bins - 1 do
+    let joint = ref 0 and marginal = ref 0 in
+    Array.iteri
+      (fun i yi ->
+        if yi = y then begin
+          incr marginal;
+          if xs.(i) = 3 then incr joint
+        end)
+      ys;
+    if !marginal > 200 then begin
+      let posterior = float_of_int !joint /. float_of_int !marginal in
+      Alcotest.(check bool)
+        (Printf.sprintf "y=%d posterior %.3f <= %.3f" y posterior bound)
+        true
+        (posterior <= bound +. 0.05)
+    end
+  done
+
+let test_quantile_degenerate () =
+  let p = Perturb.laplace_like ~binning:bins ~alpha:0.5 in
+  let density = Array.make 10 0. in
+  density.(4) <- 1.;
+  Alcotest.(check bool) "point mass median inside bin 4" true
+    (let q = Perturb.quantile_of_density p density 0.5 in
+     q >= 40. && q <= 50.);
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Perturb.quantile_of_density: q out of [0,1]") (fun () ->
+      ignore (Perturb.quantile_of_density p density 1.5))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"binning index is within range and monotone" ~count:300
+      (pair (float_range (-50.) 150.) (float_range (-50.) 150.))
+      (fun (a, b) ->
+        let ia = Binning.index bins a and ib = Binning.index bins b in
+        ia >= 0 && ia < 10 && ib >= 0 && ib < 10
+        && (a > b || ia <= ib));
+    Test.make ~name:"reconstruction yields a density (EM)" ~count:30
+      small_int (fun seed ->
+        let rng = Rng.create ~seed () in
+        let p = Perturb.laplace_like ~binning:bins ~alpha:0.5 in
+        let values = gaussian_sample rng 300 in
+        let outputs = Perturb.randomize_all p rng values in
+        let counts = Array.make 10 0 in
+        Array.iter (fun y -> counts.(y) <- counts.(y) + 1) outputs;
+        let r = Perturb.reconstruct p ~counts in
+        Array.for_all (fun v -> v >= 0.) r.Perturb.density
+        && Float.abs (Array.fold_left ( +. ) 0. r.Perturb.density -. 1.) < 1e-6);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "binning basics" `Quick test_binning_basics;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "gamma accounting" `Quick test_gamma_accounting;
+    Alcotest.test_case "laplace_for_gamma calibration" `Quick test_laplace_for_gamma;
+    Alcotest.test_case "reconstruction accuracy" `Slow test_reconstruction_accuracy;
+    Alcotest.test_case "privacy certificate holds" `Slow test_privacy_certificate_holds;
+    Alcotest.test_case "quantile degenerate" `Quick test_quantile_degenerate;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,165 @@
+(* End-to-end privacy-preserving mining tests: exactness under the identity
+   operator, recovery of planted itemsets under real randomization, and the
+   accuracy bookkeeping. *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_datagen
+open Ppdm_mining
+open Ppdm
+
+let identity_scheme universe = Randomizer.uniform ~universe ~p_keep:1. ~p_add:0.
+
+let itemset_list result =
+  List.map (fun d -> d.Ppmining.itemset) result.Ppmining.discovered
+
+let test_identity_equals_apriori () =
+  let rng = Rng.create ~seed:1 () in
+  let params = { Quest.default with n_transactions = 800; universe = 60 } in
+  let db = Quest.generate rng params in
+  let scheme = identity_scheme 60 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let min_support = 0.04 in
+  let truth = Apriori.mine db ~min_support in
+  let mined = Ppmining.mine ~scheme ~data ~min_support () in
+  Alcotest.(check (list string)) "same itemsets as Apriori"
+    (List.map (fun (s, _) -> Itemset.to_string s) truth)
+    (List.map Itemset.to_string (itemset_list mined));
+  (* estimates equal the exact supports *)
+  List.iter2
+    (fun (s, c) d ->
+      Alcotest.(check string) "aligned" (Itemset.to_string s)
+        (Itemset.to_string d.Ppmining.itemset);
+      Alcotest.(check (float 1e-9)) "support exact"
+        (float_of_int c /. float_of_int (Db.length db))
+        d.Ppmining.est_support)
+    truth mined.Ppmining.discovered;
+  let acc = Ppmining.accuracy_vs ~truth ~mined in
+  Alcotest.(check int) "no false positives" 0 acc.Ppmining.false_positives;
+  Alcotest.(check int) "no false drops" 0 acc.Ppmining.false_drops;
+  Alcotest.(check int) "all found" (List.length truth) acc.Ppmining.true_positives
+
+let test_planted_recovery_under_randomization () =
+  let universe = 120 and size = 6 and count = 15_000 in
+  let rng = Rng.create ~seed:2 () in
+  let itemset = Itemset.of_list [ 4; 9 ] in
+  let db = Simple.planted rng ~universe ~size ~count ~itemset ~support:0.25 in
+  let scheme = Randomizer.cut_and_paste ~universe ~cutoff:6 ~rho:0.03 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let mined = Ppmining.mine ~scheme ~data ~min_support:0.15 ~max_size:2 () in
+  Alcotest.(check bool) "planted pair discovered" true
+    (List.exists (fun s -> Itemset.equal s itemset) (itemset_list mined));
+  (* its estimate should be near the truth *)
+  let d =
+    List.find (fun d -> Itemset.equal d.Ppmining.itemset itemset) mined.Ppmining.discovered
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.3f within 5 sigma of 0.25" d.Ppmining.est_support)
+    true
+    (Float.abs (d.Ppmining.est_support -. 0.25) < 5. *. d.Ppmining.sigma)
+
+let test_max_size_respected () =
+  let rng = Rng.create ~seed:3 () in
+  let db = Quest.generate rng { Quest.default with n_transactions = 500; universe = 50 } in
+  let scheme = identity_scheme 50 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let mined = Ppmining.mine ~scheme ~data ~min_support:0.02 ~max_size:1 () in
+  List.iter
+    (fun d -> Alcotest.(check int) "singletons only" 1 (Itemset.cardinal d.Ppmining.itemset))
+    mined.Ppmining.discovered
+
+let test_explored_superset () =
+  let rng = Rng.create ~seed:4 () in
+  let db = Quest.generate rng { Quest.default with n_transactions = 500; universe = 50 } in
+  let scheme = Randomizer.cut_and_paste ~universe:50 ~cutoff:8 ~rho:0.05 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let mined = Ppmining.mine ~scheme ~data ~min_support:0.05 ~max_size:3 () in
+  let explored = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace explored d.Ppmining.itemset ()) mined.Ppmining.explored;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "discovered is explored" true
+        (Hashtbl.mem explored d.Ppmining.itemset))
+    mined.Ppmining.discovered;
+  Alcotest.(check bool) "explored at least as large" true
+    (List.length mined.Ppmining.explored >= List.length mined.Ppmining.discovered)
+
+let test_level_two_fast_path_consistency () =
+  (* the one-pass pair estimator must agree exactly with the generic
+     per-candidate estimator *)
+  let rng = Rng.create ~seed:6 () in
+  let universe = 40 in
+  let db = Quest.generate rng { Quest.default with n_transactions = 600; universe } in
+  let scheme = Randomizer.cut_and_paste ~universe ~cutoff:6 ~rho:0.08 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let mined =
+    Ppmining.mine ~scheme ~data ~min_support:0.03 ~max_size:2 ~sigma_cap:1. ()
+  in
+  let pairs =
+    List.filter (fun d -> Itemset.cardinal d.Ppmining.itemset = 2) mined.Ppmining.explored
+  in
+  Alcotest.(check bool) "some pairs explored" true (pairs <> []);
+  List.iter
+    (fun d ->
+      let direct = Estimator.estimate ~scheme ~data ~itemset:d.Ppmining.itemset in
+      Alcotest.(check (float 1e-9))
+        (Itemset.to_string d.Ppmining.itemset ^ " support")
+        direct.Estimator.support d.Ppmining.est_support;
+      Alcotest.(check (float 1e-9))
+        (Itemset.to_string d.Ppmining.itemset ^ " sigma")
+        direct.Estimator.sigma d.Ppmining.sigma)
+    pairs
+
+let test_sigma_cap_prunes () =
+  (* with a tiny cap nothing noisy survives *)
+  let rng = Rng.create ~seed:7 () in
+  let universe = 40 in
+  let db = Quest.generate rng { Quest.default with n_transactions = 300; universe } in
+  let scheme = Randomizer.cut_and_paste ~universe ~cutoff:3 ~rho:0.2 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let mined = Ppmining.mine ~scheme ~data ~min_support:0.05 ~max_size:2 ~sigma_cap:1e-9 () in
+  Alcotest.(check int) "nothing explored under a zero cap" 0
+    (List.length mined.Ppmining.explored)
+
+let test_accuracy_bookkeeping () =
+  let mk l = Itemset.of_list l in
+  let truth = [ (mk [ 0 ], 10); (mk [ 1 ], 8); (mk [ 0; 1 ], 5) ] in
+  let mined =
+    {
+      Ppmining.discovered =
+        [
+          { Ppmining.itemset = mk [ 0 ]; est_support = 0.5; sigma = 0.01 };
+          { Ppmining.itemset = mk [ 2 ]; est_support = 0.4; sigma = 0.01 };
+        ];
+      explored = [];
+    }
+  in
+  let acc = Ppmining.accuracy_vs ~truth ~mined in
+  Alcotest.(check int) "tp" 1 acc.Ppmining.true_positives;
+  Alcotest.(check int) "fp" 1 acc.Ppmining.false_positives;
+  Alcotest.(check int) "drops" 2 acc.Ppmining.false_drops
+
+let test_validation () =
+  let scheme = identity_scheme 10 in
+  Alcotest.check_raises "bad support"
+    (Invalid_argument "Ppmining.mine: min_support out of (0,1]") (fun () ->
+      ignore
+        (Ppmining.mine ~scheme
+           ~data:[| (1, Itemset.singleton 0) |]
+           ~min_support:0. ()));
+  Alcotest.check_raises "empty data"
+    (Invalid_argument "Ppmining.mine: empty data") (fun () ->
+      ignore (Ppmining.mine ~scheme ~data:[||] ~min_support:0.1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "identity equals apriori" `Quick test_identity_equals_apriori;
+    Alcotest.test_case "planted recovery" `Slow test_planted_recovery_under_randomization;
+    Alcotest.test_case "max size respected" `Quick test_max_size_respected;
+    Alcotest.test_case "explored superset" `Quick test_explored_superset;
+    Alcotest.test_case "level-2 fast path consistency" `Quick
+      test_level_two_fast_path_consistency;
+    Alcotest.test_case "sigma cap prunes" `Quick test_sigma_cap_prunes;
+    Alcotest.test_case "accuracy bookkeeping" `Quick test_accuracy_bookkeeping;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

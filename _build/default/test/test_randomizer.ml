@@ -1,0 +1,289 @@
+(* Randomization-operator tests: exact degenerate behaviours, induced keep
+   distributions, and Monte-Carlo agreement of per-transaction transition
+   probabilities with the closed form
+   p(t -> y) = p_a / C(m,a) * rho^(s-a) * (1-rho)^(n-m-s+a),  a = |t ∩ y|. *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_linalg
+open Ppdm
+
+let fixed_db rng ~universe ~size ~count =
+  Ppdm_datagen.Simple.fixed_size rng ~universe ~size ~count
+
+let test_identity_operator () =
+  let rng = Rng.create ~seed:1 () in
+  let scheme = Randomizer.uniform ~universe:30 ~p_keep:1. ~p_add:0. in
+  let db = fixed_db rng ~universe:30 ~size:5 ~count:50 in
+  let out = Randomizer.apply_db scheme rng db in
+  Db.iteri
+    (fun i tx -> Alcotest.(check bool) "unchanged" true (Itemset.equal tx (Db.get out i)))
+    db
+
+let test_erasing_operator () =
+  let rng = Rng.create ~seed:2 () in
+  let scheme = Randomizer.uniform ~universe:30 ~p_keep:0. ~p_add:0. in
+  let tx = Itemset.of_list [ 1; 5; 9 ] in
+  Alcotest.(check bool) "empty output" true
+    (Itemset.is_empty (Randomizer.apply scheme rng tx))
+
+let test_complementing_operator () =
+  let rng = Rng.create ~seed:3 () in
+  let scheme = Randomizer.uniform ~universe:10 ~p_keep:0. ~p_add:1. in
+  let tx = Itemset.of_list [ 2; 7 ] in
+  let out = Randomizer.apply scheme rng tx in
+  Alcotest.(check (list int)) "exact complement" [ 0; 1; 3; 4; 5; 6; 8; 9 ]
+    (Itemset.to_list out)
+
+let test_output_in_universe () =
+  let rng = Rng.create ~seed:4 () in
+  let scheme = Randomizer.cut_and_paste ~universe:25 ~cutoff:3 ~rho:0.2 in
+  let db = fixed_db rng ~universe:25 ~size:6 ~count:100 in
+  let out = Randomizer.apply_db scheme rng db in
+  Db.iter
+    (fun tx ->
+      Itemset.iter
+        (fun x -> Alcotest.(check bool) "in universe" true (x >= 0 && x < 25))
+        tx)
+    out
+
+let test_uniform_induced_dist () =
+  let scheme = Randomizer.uniform ~universe:100 ~p_keep:0.3 ~p_add:0.05 in
+  let r = Randomizer.resolve scheme ~size:4 in
+  Alcotest.(check int) "length" 5 (Array.length r.keep_dist);
+  Array.iteri
+    (fun j p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "binomial pmf at %d" j)
+        (Binomial.binomial_pmf ~n:4 ~p:0.3 j)
+        p)
+    r.keep_dist;
+  Alcotest.(check (float 1e-12)) "rho" 0.05 r.rho;
+  Alcotest.(check (float 1e-12)) "expected kept = p_keep" 0.3
+    (Randomizer.expected_kept_fraction scheme ~size:4)
+
+let test_cut_and_paste_dist_clipped () =
+  (* m = 3 < K = 5: j = min(U{0..5}, 3) puts mass (5-3+1)/6 = 3/6 on j=3 *)
+  let scheme = Randomizer.cut_and_paste ~universe:100 ~cutoff:5 ~rho:0.1 in
+  let r = Randomizer.resolve scheme ~size:3 in
+  Alcotest.(check (array (float 1e-12))) "clipped tail"
+    [| 1. /. 6.; 1. /. 6.; 1. /. 6.; 0.5 |]
+    r.keep_dist
+
+let test_cut_and_paste_dist_unclipped () =
+  (* m = 6 > K = 2: uniform over {0,1,2}, zero above *)
+  let scheme = Randomizer.cut_and_paste ~universe:100 ~cutoff:2 ~rho:0.1 in
+  let r = Randomizer.resolve scheme ~size:6 in
+  let third = 1. /. 3. in
+  Alcotest.(check (array (float 1e-12))) "uniform head"
+    [| third; third; third; 0.; 0.; 0.; 0. |]
+    r.keep_dist
+
+let test_select_a_size_validation () =
+  let mk keep_dist =
+    Randomizer.select_a_size ~universe:50 ~size:2 ~keep_dist ~rho:0.1
+  in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Randomizer: keep_dist length must be size + 1")
+    (fun () -> ignore (mk [| 1. |]));
+  Alcotest.check_raises "negative entry"
+    (Invalid_argument "Randomizer: negative keep probability") (fun () ->
+      ignore (mk [| 0.5; 0.6; -0.1 |]));
+  Alcotest.check_raises "not normalized"
+    (Invalid_argument "Randomizer: keep_dist must sum to 1") (fun () ->
+      ignore (mk [| 0.5; 0.6; 0.2 |]));
+  let scheme = mk [| 0.2; 0.3; 0.5 |] in
+  let rng = Rng.create () in
+  Alcotest.(check bool) "applies to its size" true
+    (Itemset.cardinal (Randomizer.apply scheme rng (Itemset.of_list [ 1; 2 ])) >= 0);
+  Alcotest.(check bool) "rejects other sizes" true
+    (match Randomizer.apply scheme rng (Itemset.of_list [ 1; 2; 3 ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_empty_transaction () =
+  let rng = Rng.create ~seed:5 () in
+  let scheme = Randomizer.cut_and_paste ~universe:20 ~cutoff:3 ~rho:0.25 in
+  (* noise still applies to the empty transaction *)
+  let sizes =
+    Array.init 400 (fun _ ->
+        Itemset.cardinal (Randomizer.apply scheme rng Itemset.empty))
+  in
+  let mean = Stats.mean (Array.map float_of_int sizes) in
+  Alcotest.(check bool)
+    (Printf.sprintf "noise mean %.2f near 5" mean)
+    true
+    (Float.abs (mean -. 5.) < 0.6)
+
+let test_kept_fraction_statistics () =
+  let rng = Rng.create ~seed:6 () in
+  let scheme = Randomizer.cut_and_paste ~universe:200 ~cutoff:4 ~rho:0.02 in
+  let m = 8 in
+  let expected = Randomizer.expected_kept_fraction scheme ~size:m in
+  let db = fixed_db rng ~universe:200 ~size:m ~count:3000 in
+  let acc = ref 0 in
+  Db.iter
+    (fun tx ->
+      let out = Randomizer.apply scheme rng tx in
+      acc := !acc + Itemset.inter_size tx out)
+    db;
+  let observed = float_of_int !acc /. float_of_int (3000 * m) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kept %.3f near %.3f" observed expected)
+    true
+    (Float.abs (observed -. expected) < 0.02)
+
+let test_noise_rate_statistics () =
+  let rng = Rng.create ~seed:7 () in
+  let universe = 120 and m = 6 and rho = 0.08 in
+  let scheme =
+    Randomizer.select_a_size ~universe ~size:m
+      ~keep_dist:[| 0.1; 0.1; 0.1; 0.1; 0.2; 0.2; 0.2 |]
+      ~rho
+  in
+  let db = fixed_db rng ~universe ~size:m ~count:3000 in
+  let acc = ref 0 in
+  Db.iter
+    (fun tx ->
+      let out = Randomizer.apply scheme rng tx in
+      acc := !acc + Itemset.cardinal (Itemset.diff out tx))
+    db;
+  let observed = float_of_int !acc /. float_of_int (3000 * (universe - m)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "noise rate %.4f near %.4f" observed rho)
+    true
+    (Float.abs (observed -. rho) < 0.005)
+
+(* Monte-Carlo check of the closed-form transition probability on a tiny
+   universe: randomize one transaction many times and compare the
+   frequency of each concrete output set with the formula. *)
+let test_transition_probability_formula () =
+  let universe = 6 and m = 2 and rho = 0.3 in
+  let keep_dist = [| 0.25; 0.35; 0.4 |] in
+  let scheme = Randomizer.select_a_size ~universe ~size:m ~keep_dist ~rho in
+  let tx = Itemset.of_list [ 1; 4 ] in
+  let trials = 200_000 in
+  let rng = Rng.create ~seed:8 () in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to trials do
+    let y = Itemset.to_list (Randomizer.apply scheme rng tx) in
+    Hashtbl.replace counts y (1 + Option.value ~default:0 (Hashtbl.find_opt counts y))
+  done;
+  let closed_form y =
+    let ys = Itemset.of_list y in
+    let a = Itemset.inter_size tx ys and s = Itemset.cardinal ys in
+    keep_dist.(a)
+    /. Binomial.choose m a
+    *. Float.pow rho (float_of_int (s - a))
+    *. Float.pow (1. -. rho) (float_of_int (universe - m - s + a))
+  in
+  (* check a spread of outputs, including rare ones *)
+  let outputs =
+    [ []; [ 1 ]; [ 4 ]; [ 0 ]; [ 1; 4 ]; [ 1; 0 ]; [ 0; 2; 3; 5 ]; [ 1; 4; 0 ] ]
+  in
+  List.iter
+    (fun y ->
+      let y = List.sort compare y in
+      let expected = closed_form y in
+      let got =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts y))
+        /. float_of_int trials
+      in
+      let slack = 4. *. sqrt (expected /. float_of_int trials) +. 1e-4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "p(y=%s): %.5f near %.5f"
+           (String.concat "," (List.map string_of_int y))
+           got expected)
+        true
+        (Float.abs (got -. expected) < slack))
+    outputs;
+  (* and the whole distribution sums correctly over observed outputs *)
+  let mass =
+    Hashtbl.fold (fun y _ acc -> acc +. closed_form y) counts 0.
+  in
+  Alcotest.(check bool) "observed outputs carry most closed-form mass" true (mass > 0.99)
+
+let test_determinism () =
+  let db = fixed_db (Rng.create ~seed:10 ()) ~universe:50 ~size:6 ~count:200 in
+  let run () =
+    let scheme = Randomizer.cut_and_paste ~universe:50 ~cutoff:4 ~rho:0.1 in
+    Randomizer.apply_db scheme (Rng.create ~seed:99 ()) db
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same outputs" true
+    (Array.for_all2 Itemset.equal (Db.transactions a) (Db.transactions b))
+
+let test_apply_db_tagged () =
+  let rng = Rng.create ~seed:9 () in
+  let scheme = Randomizer.cut_and_paste ~universe:30 ~cutoff:2 ~rho:0.1 in
+  let db =
+    Db.create ~universe:30
+      (Array.of_list (List.map Itemset.of_list [ [ 1; 2; 3 ]; [ 4 ]; []; [ 5; 6 ] ]))
+  in
+  let tagged = Randomizer.apply_db_tagged scheme rng db in
+  Alcotest.(check (list int)) "original sizes preserved" [ 3; 1; 0; 2 ]
+    (Array.to_list (Array.map fst tagged))
+
+let test_universe_mismatch () =
+  let rng = Rng.create () in
+  let scheme = Randomizer.uniform ~universe:10 ~p_keep:0.5 ~p_add:0.1 in
+  let db = Db.create ~universe:20 [| Itemset.singleton 1 |] in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Randomizer.apply_db: universe mismatch") (fun () ->
+      ignore (Randomizer.apply_db scheme rng db))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"output items always inside the universe" ~count:200
+      (triple small_int (int_range 0 8) (float_range 0.01 0.5))
+      (fun (seed, m, rho) ->
+        let rng = Rng.create ~seed () in
+        let universe = 30 in
+        let scheme = Randomizer.cut_and_paste ~universe ~cutoff:3 ~rho in
+        let tx =
+          Itemset.of_sorted_array_unchecked
+            (Ppdm_prng.Dist.sample_distinct rng ~k:m ~bound:universe)
+        in
+        let out = Randomizer.apply scheme rng tx in
+        List.for_all (fun x -> x >= 0 && x < universe) (Itemset.to_list out));
+    Test.make ~name:"kept items are a subset of the input" ~count:200
+      (pair small_int (int_range 1 8)) (fun (seed, m) ->
+        let rng = Rng.create ~seed () in
+        let universe = 30 in
+        (* rho = 0 means output ⊆ input *)
+        let scheme =
+          Randomizer.per_size ~universe ~name:"test" (fun size ->
+              {
+                Randomizer.keep_dist =
+                  Array.init (size + 1) (fun j -> if j = size / 2 then 1. else 0.);
+                rho = 0.;
+              })
+        in
+        let tx =
+          Itemset.of_sorted_array_unchecked
+            (Ppdm_prng.Dist.sample_distinct rng ~k:m ~bound:universe)
+        in
+        let out = Randomizer.apply scheme rng tx in
+        Itemset.subset out tx && Itemset.cardinal out = m / 2);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "identity operator" `Quick test_identity_operator;
+    Alcotest.test_case "erasing operator" `Quick test_erasing_operator;
+    Alcotest.test_case "complementing operator" `Quick test_complementing_operator;
+    Alcotest.test_case "output stays in universe" `Quick test_output_in_universe;
+    Alcotest.test_case "uniform induced keep dist" `Quick test_uniform_induced_dist;
+    Alcotest.test_case "cut-and-paste clipped dist" `Quick test_cut_and_paste_dist_clipped;
+    Alcotest.test_case "cut-and-paste unclipped dist" `Quick test_cut_and_paste_dist_unclipped;
+    Alcotest.test_case "select-a-size validation" `Quick test_select_a_size_validation;
+    Alcotest.test_case "empty transaction noise" `Quick test_empty_transaction;
+    Alcotest.test_case "kept-fraction statistics" `Quick test_kept_fraction_statistics;
+    Alcotest.test_case "noise-rate statistics" `Quick test_noise_rate_statistics;
+    Alcotest.test_case "transition probability formula" `Slow test_transition_probability_formula;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "tagged application" `Quick test_apply_db_tagged;
+    Alcotest.test_case "universe mismatch" `Quick test_universe_mismatch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

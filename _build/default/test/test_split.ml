@@ -1,0 +1,169 @@
+(* Split-finder tests: impurity values, hand-checkable splits, invariance
+   under class permutation, and end-to-end split recovery through the
+   randomization channel. *)
+
+open Ppdm_prng
+open Ppdm_numeric
+
+let bins = Binning.create ~lo:0. ~hi:10. ~count:10
+
+let point_density bin =
+  let d = Array.make 10 0. in
+  d.(bin) <- 1.;
+  d
+
+let uniform_density = Array.make 10 0.1
+
+let test_impurity_values () =
+  Alcotest.(check (float 1e-12)) "gini pure" 0. (Split.impurity Split.Gini [| 1.; 0. |]);
+  Alcotest.(check (float 1e-12)) "gini fair" 0.5 (Split.impurity Split.Gini [| 0.5; 0.5 |]);
+  Alcotest.(check (float 1e-12)) "entropy pure" 0.
+    (Split.impurity Split.Information_gain [| 1.; 0. |]);
+  Alcotest.(check (float 1e-9)) "entropy fair" (log 2.)
+    (Split.impurity Split.Information_gain [| 0.5; 0.5 |]);
+  Alcotest.check_raises "not a distribution"
+    (Invalid_argument "Split.impurity: not a probability vector") (fun () ->
+      ignore (Split.impurity Split.Gini [| 0.5; 0.6 |]))
+
+let test_perfectly_separable () =
+  (* class 0 entirely in bin 2, class 1 entirely in bin 7: every boundary
+     in [2, 6] separates them perfectly; the split must be one of them and
+     achieve the full parent impurity *)
+  let profiles =
+    [
+      { Split.density = point_density 2; prior = 0.5 };
+      { Split.density = point_density 7; prior = 0.5 };
+    ]
+  in
+  match Split.best_split ~binning:bins profiles with
+  | None -> Alcotest.fail "expected a split"
+  | Some s ->
+      Alcotest.(check bool) "separating boundary" true (s.Split.bin >= 2 && s.Split.bin <= 6);
+      Alcotest.(check (float 1e-9)) "full gini decrease" 0.5 s.Split.score;
+      Alcotest.(check (float 1e-9)) "half the mass goes left" 0.5 s.Split.left_mass
+
+let test_identical_classes_no_split () =
+  let profiles =
+    [
+      { Split.density = Array.copy uniform_density; prior = 0.3 };
+      { Split.density = Array.copy uniform_density; prior = 0.7 };
+    ]
+  in
+  Alcotest.(check bool) "no informative split" true
+    (Split.best_split ~binning:bins profiles = None)
+
+let test_single_class_no_split () =
+  let profiles = [ { Split.density = Array.copy uniform_density; prior = 1. } ] in
+  Alcotest.(check bool) "single class" true
+    (Split.best_split ~binning:bins profiles = None)
+
+let test_class_permutation_invariance () =
+  let a = { Split.density = point_density 1; prior = 0.4 } in
+  let b = { Split.density = point_density 8; prior = 0.6 } in
+  let s1 = Split.best_split ~binning:bins [ a; b ] in
+  let s2 = Split.best_split ~binning:bins [ b; a ] in
+  match (s1, s2) with
+  | Some s1, Some s2 ->
+      Alcotest.(check int) "same boundary" s1.Split.bin s2.Split.bin;
+      Alcotest.(check (float 1e-12)) "same score" s1.Split.score s2.Split.score
+  | _ -> Alcotest.fail "expected splits"
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Split: no classes") (fun () ->
+      ignore (Split.best_split ~binning:bins []));
+  Alcotest.check_raises "bad priors"
+    (Invalid_argument "Split: class priors must sum to 1") (fun () ->
+      ignore
+        (Split.best_split ~binning:bins
+           [ { Split.density = Array.copy uniform_density; prior = 0.6 } ]));
+  Alcotest.check_raises "bad density length"
+    (Invalid_argument "Split: density length does not match the binning")
+    (fun () ->
+      ignore
+        (Split.best_split ~binning:bins
+           [ { Split.density = [| 1. |]; prior = 1. } ]))
+
+let test_end_to_end_through_channel () =
+  (* two gaussian classes; both randomized through a gamma = 19 channel;
+     the split recovered from the reconstructed densities should land
+     near the Bayes boundary between the class means *)
+  let rng = Rng.create ~seed:21 () in
+  let p = Perturb.laplace_for_gamma ~binning:bins ~gamma:19. in
+  let observe mean n =
+    let counts = Array.make 10 0 in
+    for _ = 1 to n do
+      let v = Dist.normal rng ~mean ~std:1.0 in
+      let y = Perturb.randomize p rng v in
+      counts.(y) <- counts.(y) + 1
+    done;
+    (Perturb.reconstruct p ~counts).Perturb.density
+  in
+  let class0 = observe 2.5 20_000 and class1 = observe 7.5 20_000 in
+  let profiles =
+    [
+      { Split.density = class0; prior = 0.5 };
+      { Split.density = class1; prior = 0.5 };
+    ]
+  in
+  match Split.best_split ~binning:bins profiles with
+  | None -> Alcotest.fail "expected a split"
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "threshold %.1f near 5" s.Split.threshold)
+        true
+        (s.Split.threshold >= 4. && s.Split.threshold <= 6.);
+      Alcotest.(check bool) "strong separation" true (s.Split.score > 0.3)
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_profiles =
+    let gen =
+      Gen.(
+        let* k = int_range 2 4 in
+        let* raw_priors = array_size (return k) (float_range 0.1 1.) in
+        let prior_total = Array.fold_left ( +. ) 0. raw_priors in
+        let* densities =
+          array_size (return k) (array_size (return 10) (float_range 0.01 1.))
+        in
+        return
+          (List.init k (fun c ->
+               let total = Array.fold_left ( +. ) 0. densities.(c) in
+               {
+                 Split.density = Array.map (fun v -> v /. total) densities.(c);
+                 prior = raw_priors.(c) /. prior_total;
+               })))
+    in
+    make ~print:(fun p -> Printf.sprintf "<%d classes>" (List.length p)) gen
+  in
+  [
+    Test.make ~name:"scores are non-negative and bounded by parent impurity"
+      ~count:200 arb_profiles (fun profiles ->
+        let parent =
+          Split.impurity Split.Gini
+            (Array.of_list (List.map (fun c -> c.Split.prior) profiles))
+        in
+        List.for_all
+          (fun s -> s.Split.score >= 0. && s.Split.score <= parent +. 1e-9)
+          (Split.splits ~binning:bins profiles));
+    Test.make ~name:"left mass is increasing along boundaries" ~count:200
+      arb_profiles (fun profiles ->
+        let ss = Split.splits ~binning:bins profiles in
+        let rec increasing = function
+          | a :: (b :: _ as rest) ->
+              a.Split.left_mass <= b.Split.left_mass +. 1e-9 && increasing rest
+          | _ -> true
+        in
+        increasing ss);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "impurity values" `Quick test_impurity_values;
+    Alcotest.test_case "perfectly separable" `Quick test_perfectly_separable;
+    Alcotest.test_case "identical classes" `Quick test_identical_classes_no_split;
+    Alcotest.test_case "single class" `Quick test_single_class_no_split;
+    Alcotest.test_case "permutation invariance" `Quick test_class_permutation_invariance;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "end-to-end through channel" `Slow test_end_to_end_through_channel;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,113 @@
+(* Streaming estimator tests: batch equivalence, merge associativity, and
+   online convergence. *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_datagen
+open Ppdm
+
+let setup ~seed =
+  let universe = 80 and size = 5 in
+  let rng = Rng.create ~seed () in
+  let itemset = Itemset.of_list [ 1; 4 ] in
+  let db = Simple.planted rng ~universe ~size ~count:5000 ~itemset ~support:0.2 in
+  let scheme = Randomizer.cut_and_paste ~universe ~cutoff:5 ~rho:0.05 in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  (scheme, itemset, data)
+
+let test_batch_equivalence () =
+  let scheme, itemset, data = setup ~seed:1 in
+  let acc = Stream.create ~scheme ~itemset in
+  Stream.observe_all acc data;
+  let streamed = Stream.estimate acc in
+  let batch = Estimator.estimate ~scheme ~data ~itemset in
+  Alcotest.(check (float 0.)) "identical support" batch.Estimator.support
+    streamed.Estimator.support;
+  Alcotest.(check (float 0.)) "identical sigma" batch.Estimator.sigma
+    streamed.Estimator.sigma;
+  Alcotest.(check int) "counts" (Array.length data) (Stream.observed acc)
+
+let test_merge () =
+  let scheme, itemset, data = setup ~seed:2 in
+  let whole = Stream.create ~scheme ~itemset in
+  Stream.observe_all whole data;
+  let n = Array.length data in
+  let left = Stream.create ~scheme ~itemset in
+  let right = Stream.create ~scheme ~itemset in
+  Stream.observe_all left (Array.sub data 0 (n / 2));
+  Stream.observe_all right (Array.sub data (n / 2) (n - (n / 2)));
+  Stream.merge_into left ~from:right;
+  Alcotest.(check int) "merged count" n (Stream.observed left);
+  Alcotest.(check (float 0.)) "merged support"
+    (Stream.estimate whole).Estimator.support
+    (Stream.estimate left).Estimator.support
+
+let test_merge_mismatch () =
+  let scheme, itemset, _ = setup ~seed:3 in
+  let a = Stream.create ~scheme ~itemset in
+  let b = Stream.create ~scheme ~itemset:(Itemset.singleton 0) in
+  Alcotest.check_raises "itemset mismatch"
+    (Invalid_argument "Stream.merge_into: itemset mismatch") (fun () ->
+      Stream.merge_into a ~from:b)
+
+let test_empty_estimate () =
+  let scheme, itemset, _ = setup ~seed:4 in
+  let acc = Stream.create ~scheme ~itemset in
+  Alcotest.check_raises "no observations"
+    (Invalid_argument "Stream.estimate: no observations yet") (fun () ->
+      ignore (Stream.estimate acc))
+
+let test_online_convergence () =
+  (* sigma shrinks as the stream grows; the estimate homes in on truth *)
+  let scheme, itemset, data = setup ~seed:5 in
+  let acc = Stream.create ~scheme ~itemset in
+  Stream.observe_all acc (Array.sub data 0 500);
+  let early = Stream.estimate acc in
+  Stream.observe_all acc (Array.sub data 500 (Array.length data - 500));
+  let late = Stream.estimate acc in
+  Alcotest.(check bool)
+    (Printf.sprintf "sigma shrinks: %.4f -> %.4f" early.Estimator.sigma
+       late.Estimator.sigma)
+    true
+    (late.Estimator.sigma < early.Estimator.sigma);
+  Alcotest.(check bool)
+    (Printf.sprintf "final estimate %.3f near 0.2" late.Estimator.support)
+    true
+    (Float.abs (late.Estimator.support -. 0.2) < 5. *. late.Estimator.sigma)
+
+let test_estimate_is_pure () =
+  let scheme, itemset, data = setup ~seed:6 in
+  let acc = Stream.create ~scheme ~itemset in
+  Stream.observe_all acc data;
+  let a = Stream.estimate acc and b = Stream.estimate acc in
+  Alcotest.(check (float 0.)) "estimate does not mutate" a.Estimator.support
+    b.Estimator.support;
+  Alcotest.(check int) "observed unchanged" (Array.length data) (Stream.observed acc)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"stream = batch on random splits" ~count:30
+      (pair small_int (int_range 1 99)) (fun (seed, percent) ->
+        let scheme, itemset, data = setup ~seed in
+        let n = Array.length data in
+        let cut = max 1 (n * percent / 100) in
+        let acc = Stream.create ~scheme ~itemset in
+        Stream.observe_all acc (Array.sub data 0 cut);
+        let other = Stream.create ~scheme ~itemset in
+        Stream.observe_all other (Array.sub data cut (n - cut));
+        Stream.merge_into acc ~from:other;
+        let batch = Estimator.estimate ~scheme ~data ~itemset in
+        (Stream.estimate acc).Estimator.support = batch.Estimator.support);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "batch equivalence" `Quick test_batch_equivalence;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
+    Alcotest.test_case "empty estimate" `Quick test_empty_estimate;
+    Alcotest.test_case "online convergence" `Quick test_online_convergence;
+    Alcotest.test_case "estimate is pure" `Quick test_estimate_is_pure;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

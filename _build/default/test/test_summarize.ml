@@ -1,0 +1,102 @@
+(* Condensed-representation tests: closed/maximal definitions checked
+   against brute force on mined collections. *)
+
+open Ppdm_data
+open Ppdm_mining
+
+let mk universe rows = Db.create ~universe (Array.of_list (List.map Itemset.of_list rows))
+
+let toy =
+  mk 5 [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1 ]; [ 0; 2 ]; [ 0 ]; [ 3 ]; [ 3 ]; [ 0; 1; 2; 3 ] ]
+
+let brute_closed frequent =
+  List.filter
+    (fun (s, c) ->
+      not
+        (List.exists
+           (fun (s', c') ->
+             Itemset.cardinal s' > Itemset.cardinal s
+             && Itemset.subset s s' && c' = c)
+           frequent))
+    frequent
+
+let brute_maximal frequent =
+  List.filter
+    (fun (s, _) ->
+      not
+        (List.exists
+           (fun (s', _) ->
+             Itemset.cardinal s' > Itemset.cardinal s && Itemset.subset s s')
+           frequent))
+    frequent
+
+let pp l = String.concat ";" (List.map (fun (s, c) -> Printf.sprintf "%s:%d" (Itemset.to_string s) c) l)
+let sorted l = List.sort (fun (a, _) (b, _) -> Itemset.compare a b) l
+
+let test_toy_closed_maximal () =
+  let frequent = Apriori.mine toy ~min_support:0.25 in
+  Alcotest.(check string) "closed = brute force" (pp (sorted (brute_closed frequent)))
+    (pp (Summarize.closed frequent));
+  Alcotest.(check string) "maximal = brute force" (pp (sorted (brute_maximal frequent)))
+    (pp (Summarize.maximal frequent))
+
+let test_maximal_subset_of_closed () =
+  let frequent = Apriori.mine toy ~min_support:0.125 in
+  let closed = Summarize.closed frequent in
+  let closed_set = Hashtbl.create 16 in
+  List.iter (fun (s, _) -> Hashtbl.replace closed_set s ()) closed;
+  List.iter
+    (fun (s, _) ->
+      Alcotest.(check bool)
+        (Itemset.to_string s ^ " maximal => closed")
+        true (Hashtbl.mem closed_set s))
+    (Summarize.maximal frequent)
+
+let test_support_reconstruction () =
+  let frequent = Apriori.mine toy ~min_support:0.125 in
+  let closed = Summarize.closed frequent in
+  List.iter
+    (fun (s, c) ->
+      Alcotest.(check (option int))
+        ("support of " ^ Itemset.to_string s)
+        (Some c)
+        (Summarize.support_from_closed ~closed s))
+    frequent;
+  Alcotest.(check (option int)) "infrequent is None" None
+    (Summarize.support_from_closed ~closed (Itemset.of_list [ 4 ]))
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_db =
+    Gen.(
+      let* n = int_range 5 30 in
+      let* rows = list_size (return n) (list_size (int_range 0 5) (int_range 0 6)) in
+      return (mk 7 rows))
+  in
+  let arb_db = make ~print:(fun db -> Printf.sprintf "<db %d>" (Db.length db)) gen_db in
+  [
+    Test.make ~name:"closed agrees with brute force" ~count:80
+      (pair arb_db (float_range 0.15 0.6)) (fun (db, min_support) ->
+        let frequent = Apriori.mine db ~min_support ~max_size:4 in
+        pp (Summarize.closed frequent) = pp (sorted (brute_closed frequent)));
+    Test.make ~name:"maximal agrees with brute force" ~count:80
+      (pair arb_db (float_range 0.15 0.6)) (fun (db, min_support) ->
+        let frequent = Apriori.mine db ~min_support ~max_size:4 in
+        pp (Summarize.maximal frequent) = pp (sorted (brute_maximal frequent)));
+    Test.make ~name:"closed losslessly reconstructs all supports" ~count:50
+      (pair arb_db (float_range 0.2 0.6)) (fun (db, min_support) ->
+        let frequent = Apriori.mine db ~min_support ~max_size:4 in
+        let closed = Summarize.closed frequent in
+        List.for_all
+          (fun (s, c) -> Summarize.support_from_closed ~closed s = Some c)
+          frequent);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "toy closed and maximal" `Quick test_toy_closed_maximal;
+    Alcotest.test_case "maximal subset of closed" `Quick test_maximal_subset_of_closed;
+    Alcotest.test_case "support reconstruction" `Quick test_support_reconstruction;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
+
