@@ -9,6 +9,7 @@ open Ppdm
 open Ppdm_prng
 open Ppdm_data
 open Ppdm_mining
+open Ppdm_runtime
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -272,6 +273,59 @@ let b3 () =
   in
   run_benchmarks (Bechamel.Test.make_grouped ~name:"estimate" tests)
 
+let b4 () =
+  header "B4  Parallel runtime scaling: randomize + candidate counting (Quest 100k)";
+  Printf.printf "(%d core(s) visible to the OCaml runtime)\n"
+    (Domain.recommended_domain_count ());
+  let db = Experiment.quest_db ~count:100_000 () in
+  let universe = Db.universe db in
+  let scheme = Randomizer.uniform ~universe ~p_keep:0.5 ~p_add:0.01 in
+  (* Candidates: the frequent pairs of the raw database; they get counted
+     on the randomized output, which is the miner's per-level hot loop. *)
+  let candidates = List.map fst (Apriori.mine db ~min_support:0.05 ~max_size:2) in
+  let work jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let rng = Rng.create ~seed:99 () in
+        let t0 = Unix.gettimeofday () in
+        let tagged = Parallel.randomize_db_tagged pool scheme rng db in
+        let noisy = Db.create ~universe (Array.map snd tagged) in
+        let counts = Parallel.support_counts pool noisy candidates in
+        (Unix.gettimeofday () -. t0, tagged, counts))
+  in
+  let same_tagged a b =
+    Array.length a = Array.length b
+    && begin
+         let ok = ref true in
+         Array.iteri
+           (fun i (s, y) ->
+             let s', y' = b.(i) in
+             if s <> s' || not (Itemset.equal y y') then ok := false)
+           a;
+         !ok
+       end
+  in
+  let same_counts a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (s, c) (s', c') -> Itemset.equal s s' && c = c')
+         a b
+  in
+  (* Warm-up run so domain spawning and the quest cache are off the clock. *)
+  ignore (work 1);
+  let base_dt, base_tagged, base_counts = work 1 in
+  Printf.printf "%-6s %-10s %-9s %s\n" "jobs" "seconds" "speedup"
+    "output identical to jobs=1";
+  Printf.printf "%-6d %-10.3f %-9s %s\n" 1 base_dt "1.00x" "-";
+  List.iter
+    (fun jobs ->
+      let dt, tagged, counts = work jobs in
+      Printf.printf "%-6d %-10.3f %-9s %s\n" jobs dt
+        (Printf.sprintf "%.2fx" (base_dt /. dt))
+        (if same_tagged tagged base_tagged && same_counts counts base_counts
+         then "yes"
+         else "NO — DETERMINISM VIOLATION"))
+    [ 2; 4; 8 ]
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -281,7 +335,7 @@ let timed f =
 let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
-    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3) ]
+    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4) ]
 
 let () =
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
@@ -306,5 +360,5 @@ let () =
         names
   | None ->
       List.iter timed [ t1; t2; t3; f1; f2; f3; f4; f5; a1; a2; a4; e1 ];
-      if not tables_only then List.iter timed [ b1; b2; a3; b3 ]);
+      if not tables_only then List.iter timed [ b1; b2; a3; b3; b4 ]);
   print_newline ()

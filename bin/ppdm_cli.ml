@@ -14,6 +14,7 @@ open Ppdm_data
 open Ppdm_datagen
 open Ppdm_mining
 open Ppdm
+open Ppdm_runtime
 
 (* ------------------------------------------------------------ tagged io *)
 
@@ -107,6 +108,15 @@ let operator_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (all commands are deterministic).")
 
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Number of domains to run on.  Output is byte-identical at any \
+           job count for a fixed seed (randomization is seeded per chunk, \
+           not per domain).")
+
 (* ----------------------------------------------------------------- gen *)
 
 let gen_cmd =
@@ -155,11 +165,14 @@ let randomize_cmd =
     Arg.(value & opt (some string) None
          & info [ "scheme-out" ] ~doc:"Also write the operator parameters (for the server).")
   in
-  let run input out scheme_out spec seed =
+  let run input out scheme_out spec seed jobs =
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
-    let data = Randomizer.apply_db_tagged scheme rng db in
+    let data =
+      Pool.with_pool ~jobs (fun pool ->
+          Parallel.randomize_db_tagged pool scheme rng db)
+    in
     write_tagged out ~universe:(Db.universe db) data;
     Option.iter
       (fun path ->
@@ -171,7 +184,7 @@ let randomize_cmd =
   in
   Cmd.v
     (Cmd.info "randomize" ~doc:"Apply a randomization operator to a database (client side).")
-    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term)
+    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term $ jobs_term)
 
 (* -------------------------------------------------------------- analyze *)
 
@@ -223,9 +236,12 @@ let mine_cmd =
   let min_confidence =
     Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
   in
-  let run input min_support max_size min_confidence =
+  let run input min_support max_size min_confidence jobs =
     let db = Io.read_file input in
-    let frequent = Apriori.mine db ~min_support ~max_size in
+    let frequent =
+      Pool.with_pool ~jobs (fun pool ->
+          Parallel.apriori_mine pool db ~min_support ~max_size)
+    in
     Printf.printf "%d frequent itemsets at minsup %.3f:\n" (List.length frequent) min_support;
     List.iter
       (fun (s, c) ->
@@ -241,17 +257,20 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
-    Term.(const run $ in_term $ minsup_term $ maxsize_term $ min_confidence)
+    Term.(const run $ in_term $ minsup_term $ maxsize_term $ min_confidence $ jobs_term)
 
 (* -------------------------------------------------------------- private *)
 
 let private_cmd =
-  let run input spec min_support max_size seed =
+  let run input spec min_support max_size seed jobs =
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
-    let data = Randomizer.apply_db_tagged scheme rng db in
-    let truth = Apriori.mine db ~min_support ~max_size in
+    let data, truth =
+      Pool.with_pool ~jobs (fun pool ->
+          ( Parallel.randomize_db_tagged pool scheme rng db,
+            Parallel.apriori_mine pool db ~min_support ~max_size ))
+    in
     let mined = Ppmining.mine ~scheme ~data ~min_support ~max_size () in
     Printf.printf "operator: %s\n" (Randomizer.name scheme);
     Printf.printf "%d itemsets discovered privately (truth: %d)\n"
@@ -268,7 +287,7 @@ let private_cmd =
   Cmd.v
     (Cmd.info "private"
        ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
-    Term.(const run $ in_term $ operator_term $ minsup_term $ maxsize_term $ seed_term)
+    Term.(const run $ in_term $ operator_term $ minsup_term $ maxsize_term $ seed_term $ jobs_term)
 
 (* -------------------------------------------------------------- recover *)
 

@@ -6,7 +6,10 @@
    accumulators (one per tracked itemset) and can publish support
    estimates with error bars at any moment.  This example simulates 30k
    client reports arriving in batches and prints the live estimates, then
-   shows that two servers' accumulators merge losslessly (scale-out).
+   scales the aggregation out: the stream is fanned across a pool of
+   domains (one accumulator per shard, as if each were its own ingest
+   server) and the merged statistic is bit-identical to the single-server
+   fold.
 
    Run with:  dune exec examples/streaming_server.exe *)
 
@@ -14,6 +17,7 @@ open Ppdm_prng
 open Ppdm_data
 open Ppdm_datagen
 open Ppdm
+open Ppdm_runtime
 
 let () =
   let universe = 300 and size = 6 and count = 30_000 in
@@ -52,13 +56,16 @@ let () =
       if seen = 1000 || seen = 5000 || seen = count then checkpoint seen)
     stream;
 
-  (* scale-out: two half-streams merged equal the full stream *)
-  let half = count / 2 in
-  let a = Stream.create ~scheme ~itemset:hot and b = Stream.create ~scheme ~itemset:hot in
-  Stream.observe_all a (Array.sub stream 0 half);
-  Stream.observe_all b (Array.sub stream half (count - half));
-  Stream.merge_into a ~from:b;
-  let merged = Stream.estimate a and whole = Stream.estimate acc_hot in
-  Printf.printf "merge check: %.6f = %.6f -> %b\n" merged.Estimator.support
-    whole.Estimator.support
+  (* scale-out: shard the stream across a domain pool — each shard is an
+     independent ingest server with its own accumulator; Stream.merge
+     folds them back into exactly the single-server statistic *)
+  let jobs = 4 in
+  let fanned =
+    Pool.with_pool ~jobs (fun pool ->
+        Parallel.observe_all pool ~scheme ~itemset:hot stream)
+  in
+  let merged = Stream.estimate fanned and whole = Stream.estimate acc_hot in
+  Printf.printf "%d-server merge check: %.6f = %.6f -> %b (%d reports)\n" jobs
+    merged.Estimator.support whole.Estimator.support
     (merged.Estimator.support = whole.Estimator.support)
+    (Stream.observed fanned)

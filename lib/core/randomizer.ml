@@ -42,6 +42,9 @@ let resolved_cached t size =
 let universe t = t.universe
 let name t = t.name
 
+let warm_cache t ~sizes =
+  List.iter (fun size -> ignore (resolved_cached t size)) sizes
+
 let resolve t ~size =
   let r, _ = resolved_cached t size in
   { keep_dist = Array.copy r.keep_dist; rho = r.rho }

@@ -52,6 +52,14 @@ val per_size : universe:int -> name:string -> (int -> resolved) -> t
 val universe : t -> int
 val name : t -> string
 
+val warm_cache : t -> sizes:int list -> unit
+(** Resolve and cache the operator for every listed size (validating each).
+    A scheme is a lazily-populated per-size cache, which is mutated on
+    first use of each size; warming every size that occurs in the data
+    beforehand makes subsequent {!apply} calls read-only, and therefore
+    safe to run concurrently from multiple domains on the same scheme.
+    The parallel runtime calls this before sharding a database. *)
+
 val resolve : t -> size:int -> resolved
 (** The concrete operator used for the given transaction size (a defensive
     copy).  @raise Invalid_argument if the scheme does not cover the

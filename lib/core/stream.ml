@@ -46,10 +46,22 @@ let merge_into t ~from =
     from.by_size;
   t.observed <- t.observed + from.observed
 
+let merge = function
+  | [] -> invalid_arg "Stream.merge: empty list"
+  | first :: rest ->
+      let acc = create ~scheme:first.scheme ~itemset:first.itemset in
+      merge_into acc ~from:first;
+      List.iter (fun t -> merge_into acc ~from:t) rest;
+      acc
+
 let estimate t =
   if t.observed = 0 then invalid_arg "Stream.estimate: no observations yet";
+  (* Sort on the size key explicitly: the histogram arrays ride along and
+     must not participate in the order (sizes are unique, so the key alone
+     determines it). *)
   let counts =
-    List.sort compare
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
       (Hashtbl.fold (fun size c acc -> (size, Array.copy c) :: acc) t.by_size [])
   in
   Estimator.estimate_from_counts ~scheme:t.scheme ~k:t.k ~counts

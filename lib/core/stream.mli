@@ -29,5 +29,13 @@ val merge_into : t -> from:t -> unit
     distributed aggregation).  [from] is unchanged.
     @raise Invalid_argument if the itemsets differ. *)
 
+val merge : t list -> t
+(** [merge ts] is a fresh accumulator holding the summed statistic of all
+    of [ts], none of which is modified — the N-way fold of {!merge_into}
+    used to combine per-shard accumulators (e.g. one per domain of the
+    parallel runtime).  The statistic is a sum, so the result does not
+    depend on the order of [ts].
+    @raise Invalid_argument on the empty list or an itemset mismatch. *)
+
 val estimate : t -> Estimator.t
 (** Current estimate.  @raise Invalid_argument before any observation. *)

@@ -50,22 +50,25 @@ let candidates_from ~frequent ~size =
   in
   List.rev (join [] sorted)
 
+let absolute_threshold ~n ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Apriori.absolute_threshold: min_support out of (0,1]";
+  max 1 (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
+
+(* Level 1 straight from the per-item counts. *)
+let level1 db ~threshold =
+  Db.item_counts db |> Array.to_seqi
+  |> Seq.filter_map (fun (item, c) ->
+         if c >= threshold then Some (Itemset.singleton item, c) else None)
+  |> List.of_seq
+
 let mine ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Apriori.mine: min_support out of (0,1]";
   let n = Db.length db in
-  let threshold =
-    int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9))
-  in
-  let threshold = max threshold 1 in
+  let threshold = absolute_threshold ~n ~min_support in
   let cap = Option.value max_size ~default:max_int in
-  (* Level 1 straight from the per-item counts. *)
-  let level1 =
-    Db.item_counts db |> Array.to_seqi
-    |> Seq.filter_map (fun (item, c) ->
-           if c >= threshold then Some (Itemset.singleton item, c) else None)
-    |> List.of_seq
-  in
+  let level1 = level1 db ~threshold in
   let rec levels acc current size =
     if size > cap || current = [] then acc
     else begin

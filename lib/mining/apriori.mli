@@ -19,3 +19,15 @@ val candidates_from :
 (** Candidate generation used by level [size]: self-join of the frequent
     [(size-1)]-itemsets followed by the downward-closure prune.  Exposed
     for the privacy-preserving miner and for tests. *)
+
+val absolute_threshold : n:int -> min_support:float -> int
+(** The absolute count threshold [mine] uses for a database of [n]
+    transactions: [ceil(min_support * n)] (with a small tolerance against
+    float round-off), never below 1.  Exposed so alternative drivers —
+    the parallel runtime's level-wise loop in particular — apply exactly
+    the same rule.
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)
+
+val level1 : Db.t -> threshold:int -> (Itemset.t * int) list
+(** The frequent single items with their counts, in item order: the seed
+    level of the level-wise loop.  Exposed for external drivers. *)

@@ -17,53 +17,89 @@ let inter_tids a b =
   done;
   Array.sub buf 0 !k
 
-let mine ?max_size db ~min_support =
+type atoms = {
+  threshold : int;
+  items : (int * int array) array;
+  (* frequent items with ascending tid-sets, in item order *)
+}
+
+let atoms db ~min_support =
   if min_support <= 0. || min_support > 1. then
-    invalid_arg "Eclat.mine: min_support out of (0,1]";
+    invalid_arg "Eclat.atoms: min_support out of (0,1]";
   let n = Db.length db in
   let threshold =
     max 1
       (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
   in
+  (* Build tid-sets for frequent items (tids are ascending by construction
+     of the scan). *)
+  let buckets = Array.make (Db.universe db) [] in
+  Db.iteri
+    (fun tid tx -> Itemset.iter (fun item -> buckets.(item) <- tid :: buckets.(item)) tx)
+    db;
+  let items =
+    List.filter_map Fun.id
+      (List.init (Db.universe db) (fun item ->
+           let tids = buckets.(item) in
+           if List.length tids >= threshold then
+             Some (item, Array.of_list (List.rev tids))
+           else None))
+  in
+  { threshold; items = Array.of_list items }
+
+let atom_count t = Array.length t.items
+
+(* DFS over prefix classes: [atoms] holds (item, tidset) pairs usable to
+   extend the current prefix, all items greater than the prefix's last
+   item. *)
+let rec dfs t cap results prefix depth atoms =
+  List.iteri
+    (fun idx (item, tids) ->
+      let count = Array.length tids in
+      let pattern = item :: prefix in
+      results := (Itemset.of_list pattern, count) :: !results;
+      if depth < cap then begin
+        let extensions =
+          List.filteri (fun j _ -> j > idx) atoms
+          |> List.filter_map (fun (other, other_tids) ->
+                 let joint = inter_tids tids other_tids in
+                 if Array.length joint >= t.threshold then Some (other, joint)
+                 else None)
+        in
+        if extensions <> [] then dfs t cap results pattern (depth + 1) extensions
+      end)
+    atoms
+
+let mine_atoms ?max_size t ~lo ~hi =
+  if lo < 0 || hi > Array.length t.items || lo > hi then
+    invalid_arg "Eclat.mine_atoms: bad atom range";
   let cap = Option.value max_size ~default:max_int in
   if cap < 1 then []
   else begin
-    (* Build tid-sets for frequent items (tids are ascending by
-       construction of the scan). *)
-    let buckets = Array.make (Db.universe db) [] in
-    Db.iteri
-      (fun tid tx -> Itemset.iter (fun item -> buckets.(item) <- tid :: buckets.(item)) tx)
-      db;
-    let frequent_items =
-      List.filter_map Fun.id
-        (List.init (Db.universe db) (fun item ->
-             let tids = buckets.(item) in
-             if List.length tids >= threshold then
-               Some (item, Array.of_list (List.rev tids))
-             else None))
-    in
     let results = ref [] in
-    (* DFS over prefix classes: [atoms] holds (item, tidset) pairs usable
-       to extend the current prefix, all items greater than the prefix's
-       last item. *)
-    let rec dfs prefix depth atoms =
-      List.iteri
-        (fun idx (item, tids) ->
-          let count = Array.length tids in
-          let pattern = item :: prefix in
-          results := (Itemset.of_list pattern, count) :: !results;
-          if depth < cap then begin
-            let extensions =
-              List.filteri (fun j _ -> j > idx) atoms
-              |> List.filter_map (fun (other, other_tids) ->
-                     let joint = inter_tids tids other_tids in
-                     if Array.length joint >= threshold then Some (other, joint)
-                     else None)
-            in
-            if extensions <> [] then dfs pattern (depth + 1) extensions
-          end)
-        atoms
-    in
-    dfs [] 1 frequent_items;
-    List.sort (fun (a, _) (b, _) -> Itemset.compare a b) !results
+    (* Each root atom owns its prefix class; extensions come from every
+       atom after it, so classes rooted in disjoint ranges partition the
+       output (the basis of the parallel driver). *)
+    for i = lo to hi - 1 do
+      let item, tids = t.items.(i) in
+      results := (Itemset.singleton item, Array.length tids) :: !results;
+      if cap > 1 then begin
+        let extensions = ref [] in
+        for j = Array.length t.items - 1 downto i + 1 do
+          let other, other_tids = t.items.(j) in
+          let joint = inter_tids tids other_tids in
+          if Array.length joint >= t.threshold then
+            extensions := (other, joint) :: !extensions
+        done;
+        if !extensions <> [] then dfs t cap results [ item ] 2 !extensions
+      end
+    done;
+    !results
   end
+
+let mine ?max_size db ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Eclat.mine: min_support out of (0,1]";
+  let t = atoms db ~min_support in
+  let results = mine_atoms ?max_size t ~lo:0 ~hi:(atom_count t) in
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) results

@@ -50,6 +50,22 @@ let split t =
   let seed = splitmix64_next state in
   of_seed64 seed
 
+let derive t ~index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  (* Hash the state snapshot together with the index through SplitMix64,
+     leaving [t] untouched: the same (state, index) pair always yields the
+     same child, and distinct indices yield decorrelated children.  This
+     is the fan-out primitive of the parallel runtime — every chunk of a
+     sharded computation derives its own stream by chunk index, so results
+     do not depend on how chunks are scheduled across domains. *)
+  let state = ref t.s0 in
+  let mix x = state := Int64.logxor x (splitmix64_next state) in
+  mix t.s1;
+  mix t.s2;
+  mix t.s3;
+  mix (Int64.of_int index);
+  of_seed64 (splitmix64_next state)
+
 (* Non-negative 62-bit integer, convenient for OCaml's int. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

@@ -22,6 +22,16 @@ val split : t -> t
     streams are decorrelated (the child is re-seeded through SplitMix64
     from fresh output of the parent). *)
 
+val derive : t -> index:int -> t
+(** [derive t ~index] is a child generator determined entirely by the
+    current state of [t] and [index]; [t] is {e not} advanced.  Children
+    at distinct indices are decorrelated (SplitMix64 mixing), and the
+    same (state, index) pair always yields the same child.  This is the
+    deterministic fan-out primitive of the parallel runtime: chunk [i] of
+    a sharded computation uses [derive rng ~index:i], so output is
+    independent of domain scheduling and job count.
+    @raise Invalid_argument if [index] is negative. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

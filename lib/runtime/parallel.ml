@@ -1,0 +1,130 @@
+open Ppdm_data
+open Ppdm_mining
+open Ppdm
+
+(* Populate the scheme's per-size operator cache with every size occurring
+   in the input, so the parallel [apply] calls below only read it. *)
+let warm scheme db =
+  Randomizer.warm_cache scheme ~sizes:(List.map fst (Db.size_histogram db))
+
+let check_universe ~who scheme db =
+  if Db.universe db <> Randomizer.universe scheme then
+    invalid_arg (Printf.sprintf "Parallel.%s: universe mismatch" who)
+
+let randomize_db pool ?chunk scheme rng db =
+  check_universe ~who:"randomize_db" scheme db;
+  warm scheme db;
+  let randomized =
+    Pool.map_array pool ~rng ?chunk
+      ~f:(fun child tx -> Randomizer.apply scheme child tx)
+      (Db.transactions db)
+  in
+  Db.create ~universe:(Db.universe db) randomized
+
+let randomize_db_tagged pool ?chunk scheme rng db =
+  check_universe ~who:"randomize_db_tagged" scheme db;
+  warm scheme db;
+  Pool.map_array pool ~rng ?chunk
+    ~f:(fun child tx -> (Itemset.cardinal tx, Randomizer.apply scheme child tx))
+    (Db.transactions db)
+
+let chunk_tasks ~n ~chunk make =
+  let pieces = (n + chunk - 1) / chunk in
+  Array.init pieces (fun i ->
+      let pos = i * chunk in
+      let len = min chunk (n - pos) in
+      fun () -> make ~pos ~len)
+
+let observe_all pool ?(chunk = Pool.default_chunk) ~scheme ~itemset data =
+  if chunk <= 0 then invalid_arg "Parallel.observe_all: chunk must be positive";
+  let n = Array.length data in
+  if n = 0 then Stream.create ~scheme ~itemset
+  else begin
+    let tasks =
+      chunk_tasks ~n ~chunk (fun ~pos ~len ->
+          let acc = Stream.create ~scheme ~itemset in
+          for j = pos to pos + len - 1 do
+            let size, y = data.(j) in
+            Stream.observe acc ~size y
+          done;
+          acc)
+    in
+    Stream.merge (Array.to_list (Pool.run pool tasks))
+  end
+
+let support_counts pool ?chunk db candidates =
+  let txs = Db.transactions db in
+  let n = Array.length txs in
+  (* Each chunk re-inserts the whole candidate list into its own trie, so
+     unlike randomization the default chunking scales with the input to
+     bound the number of tries; counts are sums, so this cannot change
+     the result. *)
+  let chunk =
+    match chunk with
+    | Some c ->
+        if c <= 0 then
+          invalid_arg "Parallel.support_counts: chunk must be positive";
+        c
+    | None -> max Pool.default_chunk ((n + 63) / 64)
+  in
+  let count_range ~pos ~len =
+    let t = Count.create () in
+    List.iter (Count.add t) candidates;
+    for j = pos to pos + len - 1 do
+      Count.count_transaction t txs.(j)
+    done;
+    t
+  in
+  if candidates = [] then []
+  else if n = 0 then Count.to_list (count_range ~pos:0 ~len:0)
+  else begin
+    let tries = Pool.run pool (chunk_tasks ~n ~chunk count_range) in
+    let merged = tries.(0) in
+    for i = 1 to Array.length tries - 1 do
+      Count.merge_into merged ~from:tries.(i)
+    done;
+    Count.to_list merged
+  end
+
+let apriori_mine pool ?chunk ?max_size db ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Parallel.apriori_mine: min_support out of (0,1]";
+  let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
+  let cap = Option.value max_size ~default:max_int in
+  let level1 = Apriori.level1 db ~threshold in
+  let rec levels acc current size =
+    if size > cap || current = [] then acc
+    else begin
+      let candidates =
+        Apriori.candidates_from ~frequent:(List.map fst current) ~size
+      in
+      if candidates = [] then acc
+      else begin
+        let counted = support_counts pool ?chunk db candidates in
+        let next = List.filter (fun (_, c) -> c >= threshold) counted in
+        levels (acc @ next) next (size + 1)
+      end
+    end
+  in
+  let result = if cap < 1 then [] else levels level1 level1 2 in
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
+
+let eclat_mine pool ?max_size db ~min_support =
+  let atoms = Eclat.atoms db ~min_support in
+  let n = Eclat.atom_count atoms in
+  if n = 0 || Option.value max_size ~default:max_int < 1 then []
+  else begin
+    (* Prefix classes shrink as the root item grows (extensions only look
+       rightwards), so over-partition relative to the job count to even
+       the load.  The output set is partition-independent. *)
+    let pieces = min n (4 * Pool.jobs pool) in
+    let tasks =
+      Array.init pieces (fun i ->
+          let lo = i * n / pieces and hi = (i + 1) * n / pieces in
+          fun () -> Eclat.mine_atoms ?max_size atoms ~lo ~hi)
+    in
+    let parts = Pool.run pool tasks in
+    List.sort
+      (fun (a, _) (b, _) -> Itemset.compare a b)
+      (List.concat (Array.to_list parts))
+  end

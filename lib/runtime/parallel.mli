@@ -1,0 +1,67 @@
+(** Parallel entry points for the hot paths of the library, sharded over a
+    {!Pool}.
+
+    Every function here returns {e exactly} what its sequential
+    counterpart in the same module family returns — bit-identical at any
+    job count, per the {!Pool} determinism contract — so callers opt into
+    parallelism by swapping the call site, nothing else.
+
+    Two caveats inherited from the seeding scheme:
+
+    - the randomizing functions consume the caller's [Rng.t] differently
+      from [Randomizer.apply_db]'s single sequential stream (each chunk
+      uses a derived child), so their output matches the [jobs = 1] run of
+      the {e same} function, not the legacy single-stream pass;
+    - a scheme's per-size cache is warmed here before fan-out
+      ({!Ppdm.Randomizer.warm_cache}), after which concurrent [apply]
+      calls only read it. *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm
+
+val randomize_db :
+  Pool.t -> ?chunk:int -> Randomizer.t -> Rng.t -> Db.t -> Db.t
+(** Sharded [Randomizer.apply_db]: the database is cut into fixed-size
+    chunks, each randomized on some domain with its derived child stream.
+    @raise Invalid_argument on a universe mismatch. *)
+
+val randomize_db_tagged :
+  Pool.t -> ?chunk:int -> Randomizer.t -> Rng.t -> Db.t ->
+  (int * Itemset.t) array
+(** Sharded [Randomizer.apply_db_tagged] (outputs paired with original
+    sizes, the server-side protocol format).
+    @raise Invalid_argument on a universe mismatch. *)
+
+val observe_all :
+  Pool.t -> ?chunk:int -> scheme:Randomizer.t -> itemset:Itemset.t ->
+  (int * Itemset.t) array -> Stream.t
+(** Fan a batch of tagged reports out into per-domain accumulators and
+    fold them with [Stream.merge]: same statistic as a sequential
+    [Stream.observe_all] into one accumulator (observation is
+    deterministic, so no seeding is involved). *)
+
+val support_counts :
+  Pool.t -> ?chunk:int -> Db.t -> Itemset.t list -> (Itemset.t * int) list
+(** Sharded [Count.support_counts]: one counting trie per database chunk,
+    merged with [Count.merge_into].  When [?chunk] is omitted the chunk
+    size is scaled so at most 64 tries are built (counts are sums, so
+    unlike randomization the chunking cannot affect the result). *)
+
+val apriori_mine :
+  Pool.t -> ?chunk:int -> ?max_size:int -> Db.t -> min_support:float ->
+  (Itemset.t * int) list
+(** [Apriori.mine] with every level's candidate counting sharded through
+    {!support_counts}.  Candidate generation and thresholding replicate
+    [Apriori] exactly ([Apriori.absolute_threshold], [Apriori.level1],
+    [Apriori.candidates_from]).
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)
+
+val eclat_mine :
+  Pool.t -> ?max_size:int -> Db.t -> min_support:float ->
+  (Itemset.t * int) list
+(** [Eclat.mine] with the independent prefix classes fanned out across
+    domains ([Eclat.mine_atoms] over atom ranges).  The output set is
+    range-independent and gets the same final sort, so the partitioning
+    is free to depend on the job count.
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)

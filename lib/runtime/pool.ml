@@ -1,0 +1,179 @@
+open Ppdm_prng
+
+(* Tasks on the queue never raise: submission wraps them so a worker
+   survives anything a task does — that is what keeps the pool reusable
+   after a failure (and what makes shutdown unconditional). *)
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t array; (* jobs - 1 spawned domains *)
+  queue : task Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopped : bool;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stopped do
+    Condition.wait pool.work_available pool.lock
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+      (* stopped with an empty queue *)
+      Mutex.unlock pool.lock
+  | Some task ->
+      Mutex.unlock pool.lock;
+      task ();
+      worker_loop pool
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      workers = [||];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopped = false;
+    }
+  in
+  (* The workers must capture [pool] itself (they poll [stopped] and share
+     the queue), so the field is filled in after construction. *)
+  if jobs > 1 then
+    pool.workers <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.stopped then Mutex.unlock pool.lock
+  else begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run every closure in [fns]; collect the first exception rather than
+   letting it kill a worker, and re-raise it in the caller only after the
+   whole batch has drained (so the pool is quiescent again). *)
+let run_all pool fns =
+  let n = Array.length fns in
+  if n = 0 then ()
+  else if Array.length pool.workers = 0 || n = 1 || pool.stopped then
+    (* Sequential fallback: same closures, same order. *)
+    let failed = ref None in
+    Array.iter
+      (fun f ->
+        try f ()
+        with e -> if !failed = None then failed := Some e)
+      fns;
+    Option.iter raise !failed
+  else begin
+    let remaining = Atomic.make n in
+    let failed = Atomic.make None in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let wrap f () =
+      (try f ()
+       with e -> ignore (Atomic.compare_and_set failed None (Some e)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock batch_lock;
+        Condition.signal batch_done;
+        Mutex.unlock batch_lock
+      end
+    in
+    Mutex.lock pool.lock;
+    Array.iter (fun f -> Queue.add (wrap f) pool.queue) fns;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    (* The caller is the jobs-th worker: help drain the queue, then wait
+       for stragglers running on other domains. *)
+    let rec help () =
+      Mutex.lock pool.lock;
+      match Queue.take_opt pool.queue with
+      | Some task ->
+          Mutex.unlock pool.lock;
+          task ();
+          help ()
+      | None -> Mutex.unlock pool.lock
+    in
+    help ();
+    Mutex.lock batch_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait batch_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    match Atomic.get failed with Some e -> raise e | None -> ()
+  end
+
+let run pool fns =
+  let results = Array.make (Array.length fns) None in
+  run_all pool
+    (Array.mapi (fun i f -> fun () -> results.(i) <- Some (f ())) fns);
+  Array.map Option.get results
+
+let default_chunk = 1024
+
+let piece_count ~n ~chunk =
+  if chunk <= 0 then invalid_arg "Pool: chunk must be positive";
+  if n < 0 then invalid_arg "Pool: negative n";
+  (n + chunk - 1) / chunk
+
+let map_reduce pool ~rng ~n ?(chunk = default_chunk) ~map ~reduce () =
+  let pieces = piece_count ~n ~chunk in
+  if pieces = 0 then None
+  else begin
+    let results = Array.make pieces None in
+    let tasks =
+      Array.init pieces (fun i ->
+          let child = Rng.derive rng ~index:i in
+          let pos = i * chunk in
+          let len = min chunk (n - pos) in
+          fun () -> results.(i) <- Some (map child ~pos ~len))
+    in
+    (* One draw decouples the next map_reduce's children from this one's;
+       it happens before running so the advance is identical whether the
+       batch runs sequentially or on domains. *)
+    ignore (Rng.bits64 rng);
+    run_all pool tasks;
+    let acc = ref (Option.get results.(0)) in
+    for i = 1 to pieces - 1 do
+      acc := reduce !acc (Option.get results.(i))
+    done;
+    Some !acc
+  end
+
+let map_array pool ~rng ?(chunk = default_chunk) ~f arr =
+  let n = Array.length arr in
+  let pieces = piece_count ~n ~chunk in
+  if pieces = 0 then [||]
+  else begin
+    let out = Array.make pieces [||] in
+    let tasks =
+      Array.init pieces (fun i ->
+          let child = Rng.derive rng ~index:i in
+          let pos = i * chunk in
+          let len = min chunk (n - pos) in
+          fun () ->
+            (* Explicit loop: element order within the chunk is part of
+               the determinism contract (the child stream is sequential). *)
+            let piece = Array.make len (f child arr.(pos)) in
+            for j = 1 to len - 1 do
+              piece.(j) <- f child arr.(pos + j)
+            done;
+            out.(i) <- piece)
+    in
+    ignore (Rng.bits64 rng);
+    run_all pool tasks;
+    Array.concat (Array.to_list out)
+  end

@@ -26,4 +26,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("summarize", Test_summarize.suite);
       ("accountant", Test_accountant.suite);
+      ("runtime", Test_runtime.suite);
     ]

@@ -34,6 +34,53 @@ let test_split_decorrelated () =
   let ys = Array.init 64 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+let test_derive_reproducible () =
+  (* same parent state, same index -> identical child stream *)
+  let a = Rng.create ~seed:7 () in
+  let c1 = Rng.derive a ~index:3 in
+  let c2 = Rng.derive a ~index:3 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same child stream" (Rng.bits64 c1) (Rng.bits64 c2)
+  done;
+  (* deriving does not advance the parent *)
+  let untouched = Rng.create ~seed:7 () in
+  check Alcotest.int64 "parent unchanged" (Rng.bits64 untouched) (Rng.bits64 a)
+
+let test_derive_independent () =
+  (* distinct indices -> decorrelated children; children differ from the
+     parent's own stream *)
+  let a = Rng.create ~seed:7 () in
+  let stream rng = Array.init 64 (fun _ -> Rng.bits64 rng) in
+  let c0 = stream (Rng.derive a ~index:0) in
+  let c1 = stream (Rng.derive a ~index:1) in
+  let c2 = stream (Rng.derive a ~index:2) in
+  Alcotest.(check bool) "index 0 <> index 1" true (c0 <> c1);
+  Alcotest.(check bool) "index 1 <> index 2" true (c1 <> c2);
+  Alcotest.(check bool) "child <> parent stream" true (c0 <> stream a);
+  (* a different parent state yields different children at the same index *)
+  let b = Rng.create ~seed:8 () in
+  Alcotest.(check bool) "parent state matters" true
+    (stream (Rng.derive b ~index:0) <> c0);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.derive: index must be non-negative") (fun () ->
+      ignore (Rng.derive a ~index:(-1)))
+
+let test_derive_uniformity () =
+  (* low bits across children at consecutive indices stay balanced — the
+     SplitMix64 mixing really decorrelates the index *)
+  let a = Rng.create ~seed:97 () in
+  let buckets = Array.make 16 0 in
+  for index = 0 to 15_999 do
+    let child = Rng.derive a ~index in
+    let v = Int64.to_int (Int64.logand (Rng.bits64 child) 15L) in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let chi2 = Stats.chi_square_uniform buckets in
+  (* df = 15, 0.999 critical value = 37.70 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f below 37.70" chi2)
+    true (chi2 < 37.70)
+
 let test_int_bounds () =
   let rng = Rng.create ~seed:3 () in
   for _ = 1 to 10_000 do
@@ -282,6 +329,9 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "split decorrelation" `Quick test_split_decorrelated;
+    Alcotest.test_case "derive reproducible" `Quick test_derive_reproducible;
+    Alcotest.test_case "derive independent" `Quick test_derive_independent;
+    Alcotest.test_case "derive uniformity" `Quick test_derive_uniformity;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int uniformity" `Quick test_int_uniform;
     Alcotest.test_case "float range" `Quick test_float_range;

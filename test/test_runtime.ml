@@ -1,0 +1,272 @@
+(* Parallel runtime tests: the determinism contract (parallel output
+   bit-identical to sequential at any job count) across randomization,
+   stream aggregation, and both miners; plus pool robustness — a worker
+   exception must neither kill the pool nor deadlock the batch. *)
+
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_datagen
+open Ppdm
+open Ppdm_mining
+open Ppdm_runtime
+
+let job_counts = [ 1; 2; 4 ]
+
+let setup_db ~seed =
+  let rng = Rng.create ~seed () in
+  Quest.generate rng
+    {
+      Quest.default with
+      universe = 120;
+      n_transactions = 3_000;
+      avg_transaction_size = 6.;
+      n_patterns = 30;
+    }
+
+let scheme_for db =
+  Randomizer.cut_and_paste ~universe:(Db.universe db) ~cutoff:4 ~rho:0.03
+
+let check_tagged_equal what a b =
+  Alcotest.(check int) (what ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (size, y) ->
+      let size', y' = b.(i) in
+      if size <> size' || not (Itemset.equal y y') then
+        Alcotest.failf "%s: transaction %d differs" what i)
+    a
+
+let check_itemsets_equal what a b =
+  Alcotest.(check int) (what ^ ": count") (List.length a) (List.length b);
+  List.iter2
+    (fun (s, c) (s', c') ->
+      if not (Itemset.equal s s') || c <> c' then
+        Alcotest.failf "%s: itemset mismatch (%s/%d vs %s/%d)" what
+          (Itemset.to_string s) c (Itemset.to_string s') c')
+    a b
+
+(* Randomization: all job counts produce the same bytes from one seed, and
+   a small chunk size exercises multi-chunk scheduling. *)
+let test_randomize_determinism () =
+  let db = setup_db ~seed:11 in
+  let scheme = scheme_for db in
+  let results =
+    List.map
+      (fun jobs ->
+        Pool.with_pool ~jobs (fun pool ->
+            Parallel.randomize_db_tagged pool ~chunk:128 scheme
+              (Rng.create ~seed:5 ()) db))
+      job_counts
+  in
+  match results with
+  | base :: rest ->
+      List.iteri
+        (fun i r ->
+          check_tagged_equal
+            (Printf.sprintf "jobs=1 vs jobs=%d" (List.nth job_counts (i + 1)))
+            base r)
+        rest
+  | [] -> assert false
+
+let test_randomize_db_roundtrip () =
+  let db = setup_db ~seed:12 in
+  let scheme = scheme_for db in
+  let a =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        Parallel.randomize_db ~chunk:100 pool scheme (Rng.create ~seed:3 ()) db)
+  in
+  let b =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Parallel.randomize_db ~chunk:100 pool scheme (Rng.create ~seed:3 ()) db)
+  in
+  Alcotest.(check int) "universe kept" (Db.universe db) (Db.universe a);
+  Alcotest.(check int) "length kept" (Db.length db) (Db.length a);
+  Db.iteri
+    (fun i tx ->
+      if not (Itemset.equal tx (Db.get b i)) then
+        Alcotest.failf "transaction %d differs across job counts" i)
+    a
+
+(* Streaming: the fanned-out accumulator carries exactly the sequential
+   statistic — estimates match to the last bit. *)
+let test_stream_parallel_equals_sequential () =
+  let db = setup_db ~seed:21 in
+  let scheme = scheme_for db in
+  let itemset = Itemset.of_list [ 3; 7 ] in
+  let data = Randomizer.apply_db_tagged scheme (Rng.create ~seed:9 ()) db in
+  let seq = Stream.create ~scheme ~itemset in
+  Stream.observe_all seq data;
+  let expected = Stream.estimate seq in
+  List.iter
+    (fun jobs ->
+      let fanned =
+        Pool.with_pool ~jobs (fun pool ->
+            Parallel.observe_all pool ~chunk:256 ~scheme ~itemset data)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "observed at jobs=%d" jobs)
+        (Array.length data) (Stream.observed fanned);
+      let e = Stream.estimate fanned in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "support at jobs=%d" jobs)
+        expected.Estimator.support e.Estimator.support;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "sigma at jobs=%d" jobs)
+        expected.Estimator.sigma e.Estimator.sigma)
+    job_counts
+
+(* Counting and mining: parallel support counts and both parallel miners
+   reproduce their sequential counterparts exactly. *)
+let test_support_counts () =
+  let db = setup_db ~seed:31 in
+  let candidates = List.map fst (Apriori.mine db ~min_support:0.03 ~max_size:2) in
+  Alcotest.(check bool) "have candidates" true (candidates <> []);
+  let expected = Count.support_counts db candidates in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.with_pool ~jobs (fun pool ->
+            Parallel.support_counts pool ~chunk:300 db candidates)
+      in
+      check_itemsets_equal (Printf.sprintf "counts at jobs=%d" jobs) expected got)
+    job_counts
+
+let test_apriori_parallel () =
+  let db = setup_db ~seed:41 in
+  let expected = Apriori.mine db ~min_support:0.02 ~max_size:3 in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.with_pool ~jobs (fun pool ->
+            Parallel.apriori_mine pool ~chunk:300 db ~min_support:0.02
+              ~max_size:3)
+      in
+      check_itemsets_equal (Printf.sprintf "apriori at jobs=%d" jobs) expected got)
+    job_counts
+
+let test_eclat_parallel () =
+  let db = setup_db ~seed:51 in
+  let expected = Eclat.mine db ~min_support:0.02 ~max_size:3 in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.with_pool ~jobs (fun pool ->
+            Parallel.eclat_mine pool db ~min_support:0.02 ~max_size:3)
+      in
+      check_itemsets_equal (Printf.sprintf "eclat at jobs=%d" jobs) expected got)
+    job_counts
+
+(* map_reduce seeding: same seed -> same reduction at every job count,
+   different seeds -> different reduction (children really are seeded). *)
+let test_map_reduce_determinism () =
+  let sum_of ~jobs ~seed =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_reduce pool
+          ~rng:(Rng.create ~seed ())
+          ~n:10_000 ~chunk:64
+          ~map:(fun rng ~pos:_ ~len ->
+            let acc = ref 0 in
+            for _ = 1 to len do
+              acc := !acc + Rng.int rng 1_000
+            done;
+            !acc)
+          ~reduce:( + ) ())
+  in
+  let base = sum_of ~jobs:1 ~seed:17 in
+  Alcotest.(check bool) "non-empty" true (base <> None);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "sum at jobs=%d" jobs)
+        base
+        (sum_of ~jobs ~seed:17))
+    job_counts;
+  Alcotest.(check bool)
+    "different seed, different sum" true
+    (sum_of ~jobs:2 ~seed:18 <> base)
+
+let test_map_reduce_advances_rng () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let rng = Rng.create ~seed:23 () in
+      let draw () =
+        Pool.map_reduce pool ~rng ~n:100 ~chunk:10
+          ~map:(fun child ~pos:_ ~len:_ -> Rng.int child 1_000_000)
+          ~reduce:( + ) ()
+      in
+      Alcotest.(check bool)
+        "consecutive calls see fresh randomness" true
+        (draw () <> draw ()))
+
+(* Pool robustness: a worker exception surfaces in the caller after the
+   batch drains, and the same pool then runs the next batch normally. *)
+let test_pool_survives_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let failing =
+        Array.init 16 (fun i ->
+            fun () -> if i = 7 then failwith "worker boom" else i)
+      in
+      Alcotest.check_raises "exception propagates" (Failure "worker boom")
+        (fun () -> ignore (Pool.run pool failing));
+      (* reuse after the failure: a full map_reduce on the same pool *)
+      let total =
+        Pool.map_reduce pool
+          ~rng:(Rng.create ~seed:1 ())
+          ~n:1_000 ~chunk:32
+          ~map:(fun _ ~pos ~len ->
+            let acc = ref 0 in
+            for i = pos to pos + len - 1 do
+              acc := !acc + i
+            done;
+            !acc)
+          ~reduce:( + ) ()
+      in
+      Alcotest.(check (option int)) "pool still works" (Some 499_500) total;
+      let again = Pool.run pool (Array.init 8 (fun i -> fun () -> i * i)) in
+      Alcotest.(check (array int)) "run works too"
+        (Array.init 8 (fun i -> i * i))
+        again)
+
+let test_pool_edge_cases () =
+  (* jobs <= 1 spawns nothing and still works; empty inputs are fine *)
+  Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs pool);
+      Alcotest.(check (array int)) "empty run" [||] (Pool.run pool [||]);
+      Alcotest.(check (option int)) "n=0 map_reduce" None
+        (Pool.map_reduce pool
+           ~rng:(Rng.create ~seed:1 ())
+           ~n:0
+           ~map:(fun _ ~pos:_ ~len:_ -> 0)
+           ~reduce:( + ) ());
+      Alcotest.(check (array int)) "empty map_array" [||]
+        (Pool.map_array pool
+           ~rng:(Rng.create ~seed:1 ())
+           ~f:(fun _ x -> x)
+           [||]));
+  (* shutdown is idempotent and the pool degrades to sequential after *)
+  let pool = Pool.create ~jobs:3 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "post-shutdown run is sequential"
+    [| 0; 1; 2 |]
+    (Pool.run pool (Array.init 3 Fun.id |> Array.map (fun i -> fun () -> i)))
+
+let suite =
+  [
+    Alcotest.test_case "randomize determinism across jobs" `Quick
+      test_randomize_determinism;
+    Alcotest.test_case "randomize_db across jobs" `Quick
+      test_randomize_db_roundtrip;
+    Alcotest.test_case "stream parallel = sequential" `Quick
+      test_stream_parallel_equals_sequential;
+    Alcotest.test_case "support counts parallel = sequential" `Quick
+      test_support_counts;
+    Alcotest.test_case "apriori parallel = sequential" `Quick
+      test_apriori_parallel;
+    Alcotest.test_case "eclat parallel = sequential" `Quick test_eclat_parallel;
+    Alcotest.test_case "map_reduce determinism" `Quick
+      test_map_reduce_determinism;
+    Alcotest.test_case "map_reduce advances rng" `Quick
+      test_map_reduce_advances_rng;
+    Alcotest.test_case "pool survives worker exception" `Quick
+      test_pool_survives_exception;
+    Alcotest.test_case "pool edge cases" `Quick test_pool_edge_cases;
+  ]

@@ -42,6 +42,44 @@ let test_merge () =
     (Stream.estimate whole).Estimator.support
     (Stream.estimate left).Estimator.support
 
+let test_merge_nway () =
+  (* Stream.merge over k shards equals one accumulator over the whole
+     stream, for any shard count *)
+  let scheme, itemset, data = setup ~seed:7 in
+  let n = Array.length data in
+  let whole = Stream.create ~scheme ~itemset in
+  Stream.observe_all whole data;
+  let expected = Stream.estimate whole in
+  List.iter
+    (fun k ->
+      let shards =
+        List.init k (fun i ->
+            let lo = i * n / k and hi = (i + 1) * n / k in
+            let acc = Stream.create ~scheme ~itemset in
+            Stream.observe_all acc (Array.sub data lo (hi - lo));
+            acc)
+      in
+      let merged = Stream.merge shards in
+      Alcotest.(check int)
+        (Printf.sprintf "count, %d shards" k)
+        n (Stream.observed merged);
+      let e = Stream.estimate merged in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "support, %d shards" k)
+        expected.Estimator.support e.Estimator.support;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "sigma, %d shards" k)
+        expected.Estimator.sigma e.Estimator.sigma;
+      (* inputs left untouched: merging again gives the same answer *)
+      let again = Stream.estimate (Stream.merge shards) in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "re-merge, %d shards" k)
+        expected.Estimator.support again.Estimator.support)
+    [ 1; 3; 7 ];
+  Alcotest.check_raises "empty merge rejected"
+    (Invalid_argument "Stream.merge: empty list") (fun () ->
+      ignore (Stream.merge []))
+
 let test_merge_mismatch () =
   let scheme, itemset, _ = setup ~seed:3 in
   let a = Stream.create ~scheme ~itemset in
@@ -105,6 +143,7 @@ let suite =
   [
     Alcotest.test_case "batch equivalence" `Quick test_batch_equivalence;
     Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge n-way" `Quick test_merge_nway;
     Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
     Alcotest.test_case "empty estimate" `Quick test_empty_estimate;
     Alcotest.test_case "online convergence" `Quick test_online_convergence;
