@@ -326,6 +326,30 @@ let b4 () =
          else "NO — DETERMINISM VIOLATION"))
     [ 2; 4; 8 ]
 
+let b5 () =
+  header "B5  Instrumentation report: metrics over a private-mining run (jobs=4)";
+  let db = Experiment.quest_db ~count:20_000 () in
+  let universe = Db.universe db in
+  let scheme = Randomizer.uniform ~universe ~p_keep:0.5 ~p_add:0.01 in
+  (* Start from a clean slate so only this section's work shows up, and
+     leave metrics disabled again so the other sections stay uninstrumented. *)
+  Ppdm_obs.Metrics.reset ();
+  Ppdm_obs.Span.reset ();
+  Ppdm_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ppdm_obs.Metrics.set_enabled false;
+      print_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human))
+    (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          let rng = Rng.create ~seed:7 () in
+          let tagged = Parallel.randomize_db_tagged pool scheme rng db in
+          let noisy = Db.create ~universe (Array.map snd tagged) in
+          ignore (Parallel.apriori_mine pool noisy ~min_support:0.05 ~max_size:3);
+          let itemset = Itemset.of_list [ 0; 1 ] in
+          let stream = Parallel.observe_all pool ~scheme ~itemset tagged in
+          ignore (Stream.estimate stream)))
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -335,7 +359,7 @@ let timed f =
 let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
-    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4) ]
+    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5) ]
 
 let () =
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
@@ -360,5 +384,5 @@ let () =
         names
   | None ->
       List.iter timed [ t1; t2; t3; f1; f2; f3; f4; f5; a1; a2; a4; e1 ];
-      if not tables_only then List.iter timed [ b1; b2; a3; b3; b4 ]);
+      if not tables_only then List.iter timed [ b1; b2; a3; b3; b4; b5 ]);
   print_newline ()

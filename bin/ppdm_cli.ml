@@ -108,6 +108,36 @@ let operator_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (all commands are deterministic).")
 
+(* ----------------------------------------------------------------- stats *)
+
+let stats_term =
+  Arg.(
+    value
+    & opt (some (enum [ ("human", Ppdm_obs.Report.Human); ("json", Ppdm_obs.Report.Json) ])) None
+    & info [ "stats" ]
+        ~docv:"FORMAT"
+        ~doc:
+          "Collect and print an execution-metrics report (randomizer, \
+           counting, miner levels, estimator, pool).  FORMAT is human or \
+           json (JSON lines).  The report goes to stderr, so stdout and \
+           every output file stay byte-identical to a run without \
+           $(b,--stats).")
+
+(* Enable metrics around [f]; print the report to stderr afterwards (also
+   on failure, so a crashed run still shows where time went).  Stdout is
+   untouched: results must be byte-identical with and without --stats. *)
+let with_stats fmt f =
+  match fmt with
+  | None -> f ()
+  | Some fmt ->
+      Ppdm_obs.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Ppdm_obs.Metrics.set_enabled false;
+          prerr_string (Ppdm_obs.Report.to_string fmt);
+          flush stderr)
+        f
+
 let jobs_term =
   Arg.(
     value & opt int 1
@@ -165,7 +195,8 @@ let randomize_cmd =
     Arg.(value & opt (some string) None
          & info [ "scheme-out" ] ~doc:"Also write the operator parameters (for the server).")
   in
-  let run input out scheme_out spec seed jobs =
+  let run input out scheme_out spec seed jobs stats =
+    with_stats stats @@ fun () ->
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
@@ -184,7 +215,7 @@ let randomize_cmd =
   in
   Cmd.v
     (Cmd.info "randomize" ~doc:"Apply a randomization operator to a database (client side).")
-    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term $ jobs_term)
+    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term $ jobs_term $ stats_term)
 
 (* -------------------------------------------------------------- analyze *)
 
@@ -236,7 +267,8 @@ let mine_cmd =
   let min_confidence =
     Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
   in
-  let run input min_support max_size min_confidence jobs =
+  let run input min_support max_size min_confidence jobs stats =
+    with_stats stats @@ fun () ->
     let db = Io.read_file input in
     let frequent =
       Pool.with_pool ~jobs (fun pool ->
@@ -257,12 +289,15 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
-    Term.(const run $ in_term $ minsup_term $ maxsize_term $ min_confidence $ jobs_term)
+    Term.(
+      const run $ in_term $ minsup_term $ maxsize_term $ min_confidence
+      $ jobs_term $ stats_term)
 
 (* -------------------------------------------------------------- private *)
 
 let private_cmd =
-  let run input spec min_support max_size seed jobs =
+  let run input spec min_support max_size seed jobs stats =
+    with_stats stats @@ fun () ->
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
@@ -287,7 +322,9 @@ let private_cmd =
   Cmd.v
     (Cmd.info "private"
        ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
-    Term.(const run $ in_term $ operator_term $ minsup_term $ maxsize_term $ seed_term $ jobs_term)
+    Term.(
+      const run $ in_term $ operator_term $ minsup_term $ maxsize_term
+      $ seed_term $ jobs_term $ stats_term)
 
 (* -------------------------------------------------------------- recover *)
 
@@ -300,7 +337,8 @@ let recover_cmd =
          & info [ "scheme" ] ~doc:"Operator parameter file written by randomize --scheme-out \
                                    (overrides --operator).")
   in
-  let run input spec scheme_file items =
+  let run input spec scheme_file items stats =
+    with_stats stats @@ fun () ->
     let universe, data = read_tagged input in
     let scheme =
       match scheme_file with
@@ -315,7 +353,7 @@ let recover_cmd =
   in
   Cmd.v
     (Cmd.info "recover" ~doc:"Estimate an itemset's support from a tagged randomized file.")
-    Term.(const run $ in_term $ operator_term $ scheme_file $ itemset_term)
+    Term.(const run $ in_term $ operator_term $ scheme_file $ itemset_term $ stats_term)
 
 (* ---------------------------------------------------------------- stats *)
 

@@ -11,6 +11,10 @@
    server) and the merged statistic is bit-identical to the single-server
    fold.
 
+   The run is instrumented with ppdm_obs: ingest is wrapped in a span and
+   the metrics report lands on stderr, so the example doubles as a demo
+   of the observability layer.
+
    Run with:  dune exec examples/streaming_server.exe *)
 
 open Ppdm_prng
@@ -20,6 +24,7 @@ open Ppdm
 open Ppdm_runtime
 
 let () =
+  Ppdm_obs.Metrics.set_enabled true;
   let universe = 300 and size = 6 and count = 30_000 in
   let rng = Rng.create ~seed:123 () in
 
@@ -48,13 +53,14 @@ let () =
     in
     Printf.printf "after %6d reports: %s | %s\n" n (report acc_hot) (report acc_cold)
   in
-  Array.iteri
-    (fun i (size, y) ->
-      Stream.observe acc_hot ~size y;
-      Stream.observe acc_cold ~size y;
-      let seen = i + 1 in
-      if seen = 1000 || seen = 5000 || seen = count then checkpoint seen)
-    stream;
+  Ppdm_obs.Span.with_ ~name:"ingest" (fun () ->
+      Array.iteri
+        (fun i (size, y) ->
+          Stream.observe acc_hot ~size y;
+          Stream.observe acc_cold ~size y;
+          let seen = i + 1 in
+          if seen = 1000 || seen = 5000 || seen = count then checkpoint seen)
+        stream);
 
   (* scale-out: shard the stream across a domain pool — each shard is an
      independent ingest server with its own accumulator; Stream.merge
@@ -68,4 +74,7 @@ let () =
   Printf.printf "%d-server merge check: %.6f = %.6f -> %b (%d reports)\n" jobs
     merged.Estimator.support whole.Estimator.support
     (merged.Estimator.support = whole.Estimator.support)
-    (Stream.observed fanned)
+    (Stream.observed fanned);
+
+  (* the metrics report goes to stderr, keeping stdout clean *)
+  prerr_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human)

@@ -54,6 +54,8 @@ let conditional_cov p partials n =
    their covariance.  Square case inverts P; the rectangular case (m < k)
    solves the normal equations and conjugates by the pseudo-inverse. *)
 let estimate_class (resolved : Randomizer.resolved) ~k counts =
+  Ppdm_obs.Metrics.incr "estimator.solves";
+  Ppdm_obs.Metrics.time "estimator.solve_ns" @@ fun () ->
   let m = Array.length resolved.keep_dist - 1 in
   let n = Array.fold_left ( + ) 0 counts in
   let observed =
@@ -82,6 +84,7 @@ let estimate_class (resolved : Randomizer.resolved) ~k counts =
   (partials, covariance, n)
 
 let estimate_from_counts ~scheme ~k ~counts:groups =
+  Ppdm_obs.Span.with_ ~name:"estimator.estimate" @@ fun () ->
   let total =
     List.fold_left
       (fun acc (_, c) -> acc + Array.fold_left ( + ) 0 c)

@@ -29,8 +29,11 @@ let make ~universe ~name produce =
 
 let resolved_cached t size =
   match Hashtbl.find_opt t.cache size with
-  | Some entry -> entry
+  | Some entry ->
+      Ppdm_obs.Metrics.incr "randomizer.cache.hit";
+      entry
   | None ->
+      Ppdm_obs.Metrics.incr "randomizer.cache.miss";
       let r = t.produce size in
       validate_resolved ~size r;
       (* The alias table is only needed when there is a real choice. *)
@@ -41,6 +44,22 @@ let resolved_cached t size =
 
 let universe t = t.universe
 let name t = t.name
+
+(* Structural equality of operator parameters at the given sizes.  Two
+   schemes cannot be compared as values (an operator family is a
+   closure), but at any concrete size the resolved parameters can; a
+   scheme that does not cover a size compares unequal rather than
+   raising.  Names are deliberately ignored: differently-built schemes
+   with identical parameters are the same operator. *)
+let same_parameters a b ~sizes =
+  a.universe = b.universe
+  && List.for_all
+       (fun size ->
+         match (resolved_cached a size, resolved_cached b size) with
+         | (ra, _), (rb, _) ->
+             ra.rho = rb.rho && ra.keep_dist = rb.keep_dist
+         | exception Invalid_argument _ -> false)
+       sizes
 
 let warm_cache t ~sizes =
   List.iter (fun size -> ignore (resolved_cached t size)) sizes
@@ -117,6 +136,7 @@ let unrank_complement tx ranks =
     ranks
 
 let apply t rng tx =
+  Ppdm_obs.Metrics.incr "randomizer.apply";
   let m = Itemset.cardinal tx in
   let r, sampler = resolved_cached t m in
   if m > t.universe then invalid_arg "Randomizer.apply: transaction too large";

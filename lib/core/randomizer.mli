@@ -52,6 +52,15 @@ val per_size : universe:int -> name:string -> (int -> resolved) -> t
 val universe : t -> int
 val name : t -> string
 
+val same_parameters : t -> t -> sizes:int list -> bool
+(** Structural equality of operator parameters: same universe and, for
+    every listed size, identical keep distribution and rho.  A size one
+    scheme does not cover compares unequal (no exception).  Names are
+    ignored — schemes built by different constructors with the same
+    parameters are the same operator (cf. a scheme round-tripped through
+    [Scheme_io]).  [Stream] uses this to refuse merging accumulators
+    built under different randomization schemes. *)
+
 val warm_cache : t -> sizes:int list -> unit
 (** Resolve and cache the operator for every listed size (validating each).
     A scheme is a lazily-populated per-size cache, which is mutated on

@@ -29,6 +29,7 @@ let slot t size =
       counts
 
 let observe t ~size y =
+  Ppdm_obs.Metrics.incr "stream.observed";
   let counts = slot t size in
   let l' = Itemset.inter_size t.itemset y in
   counts.(l') <- counts.(l') + 1;
@@ -39,6 +40,19 @@ let observe_all t data = Array.iter (fun (size, y) -> observe t ~size y) data
 let merge_into t ~from =
   if not (Itemset.equal t.itemset from.itemset) then
     invalid_arg "Stream.merge_into: itemset mismatch";
+  (* Accumulators built under different schemes must not merge: estimate
+     inverts t's transition matrices, so foreign counts would silently
+     produce wrong estimates.  Compare the operator parameters at every
+     size either side has observed (parameters, not names — a scheme
+     round-tripped through Scheme_io still matches). *)
+  let sizes =
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.iter (fun size _ -> Hashtbl.replace tbl size ()) t.by_size;
+    Hashtbl.iter (fun size _ -> Hashtbl.replace tbl size ()) from.by_size;
+    Hashtbl.fold (fun size () acc -> size :: acc) tbl []
+  in
+  if not (Randomizer.same_parameters t.scheme from.scheme ~sizes) then
+    invalid_arg "Stream.merge_into: scheme mismatch";
   Hashtbl.iter
     (fun size counts ->
       let mine = slot t size in
@@ -56,12 +70,15 @@ let merge = function
 
 let estimate t =
   if t.observed = 0 then invalid_arg "Stream.estimate: no observations yet";
-  (* Sort on the size key explicitly: the histogram arrays ride along and
-     must not participate in the order (sizes are unique, so the key alone
-     determines it). *)
-  let counts =
-    List.sort
-      (fun (a, _) (b, _) -> Int.compare a b)
-      (Hashtbl.fold (fun size c acc -> (size, Array.copy c) :: acc) t.by_size [])
-  in
-  Estimator.estimate_from_counts ~scheme:t.scheme ~k:t.k ~counts
+  Ppdm_obs.Span.with_ ~name:"stream.estimate" (fun () ->
+      (* Sort on the size key explicitly: the histogram arrays ride along
+         and must not participate in the order (sizes are unique, so the
+         key alone determines it). *)
+      let counts =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold
+             (fun size c acc -> (size, Array.copy c) :: acc)
+             t.by_size [])
+      in
+      Estimator.estimate_from_counts ~scheme:t.scheme ~k:t.k ~counts)

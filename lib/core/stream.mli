@@ -27,7 +27,10 @@ val observe_all : t -> (int * Itemset.t) array -> unit
 val merge_into : t -> from:t -> unit
 (** [merge_into acc ~from] adds [from]'s statistic to [acc] (for
     distributed aggregation).  [from] is unchanged.
-    @raise Invalid_argument if the itemsets differ. *)
+    @raise Invalid_argument if the itemsets differ, or if the two
+    accumulators' schemes disagree (universe or operator parameters at
+    any observed size, per {!Randomizer.same_parameters}) — mixed-scheme
+    counts would silently corrupt {!estimate}. *)
 
 val merge : t list -> t
 (** [merge ts] is a fresh accumulator holding the summed statistic of all

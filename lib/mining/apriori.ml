@@ -39,9 +39,13 @@ let candidates_from ~frequent ~size =
             (fun acc b ->
               if shares_prefix a b && a.(size - 2) < b.(size - 2) then begin
                 let candidate = Array.append a [| b.(size - 2) |] in
+                Ppdm_obs.Metrics.incr "apriori.candidates.joined";
                 if all_subsets_frequent candidate then
                   Itemset.of_sorted_array_unchecked candidate :: acc
-                else acc
+                else begin
+                  Ppdm_obs.Metrics.incr "apriori.candidates.pruned";
+                  acc
+                end
               end
               else acc)
             acc rest
@@ -53,7 +57,7 @@ let candidates_from ~frequent ~size =
 let absolute_threshold ~n ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Apriori.absolute_threshold: min_support out of (0,1]";
-  max 1 (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
+  Threshold.absolute ~n ~min_support
 
 (* Level 1 straight from the per-item counts. *)
 let level1 db ~threshold =
@@ -62,26 +66,44 @@ let level1 db ~threshold =
          if c >= threshold then Some (Itemset.singleton item, c) else None)
   |> List.of_seq
 
+(* Per-level observability shared with the parallel driver: candidate and
+   survivor counts per Apriori level (names are computed, so the whole
+   block sits behind the enabled flag). *)
+let record_level ~size ~candidates ~frequent =
+  if Ppdm_obs.Metrics.enabled () then begin
+    Ppdm_obs.Metrics.add
+      (Printf.sprintf "apriori.level%d.candidates" size)
+      (List.length candidates);
+    Ppdm_obs.Metrics.add
+      (Printf.sprintf "apriori.level%d.frequent" size)
+      (List.length frequent)
+  end
+
 let mine ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Apriori.mine: min_support out of (0,1]";
-  let n = Db.length db in
-  let threshold = absolute_threshold ~n ~min_support in
-  let cap = Option.value max_size ~default:max_int in
-  let level1 = level1 db ~threshold in
-  let rec levels acc current size =
-    if size > cap || current = [] then acc
-    else begin
-      let candidates =
-        candidates_from ~frequent:(List.map fst current) ~size
+  Ppdm_obs.Span.with_ ~name:"apriori.mine" (fun () ->
+      let n = Db.length db in
+      let threshold = absolute_threshold ~n ~min_support in
+      let cap = Option.value max_size ~default:max_int in
+      let level1 = level1 db ~threshold in
+      record_level ~size:1 ~candidates:level1 ~frequent:level1;
+      let rec levels acc current size =
+        if size > cap || current = [] then acc
+        else begin
+          let candidates =
+            candidates_from ~frequent:(List.map fst current) ~size
+          in
+          if candidates = [] then acc
+          else begin
+            let counted = Count.support_counts db candidates in
+            let next = List.filter (fun (_, c) -> c >= threshold) counted in
+            record_level ~size ~candidates ~frequent:next;
+            (* rev_append, not (@): the final sort fixes the order, and
+               appending per level is quadratic in the output size. *)
+            levels (List.rev_append next acc) next (size + 1)
+          end
+        end
       in
-      if candidates = [] then acc
-      else begin
-        let counted = Count.support_counts db candidates in
-        let next = List.filter (fun (_, c) -> c >= threshold) counted in
-        levels (acc @ next) next (size + 1)
-      end
-    end
-  in
-  let result = if cap < 1 then [] else levels level1 level1 2 in
-  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
+      let result = if cap < 1 then [] else levels level1 level1 2 in
+      List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result)

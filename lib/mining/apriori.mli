@@ -31,3 +31,9 @@ val absolute_threshold : n:int -> min_support:float -> int
 val level1 : Db.t -> threshold:int -> (Itemset.t * int) list
 (** The frequent single items with their counts, in item order: the seed
     level of the level-wise loop.  Exposed for external drivers. *)
+
+val record_level : size:int -> candidates:'a list -> frequent:'b list -> unit
+(** Record the per-level candidate/survivor counters of the observability
+    layer ([apriori.level<n>.candidates] / [.frequent]); a no-op when
+    metrics are disabled.  Exposed so external level-wise drivers emit the
+    same metrics as {!mine}. *)

@@ -31,6 +31,7 @@ let add t itemset =
 let candidate_count t = t.candidates
 
 let count_transaction t tx =
+  Ppdm_obs.Metrics.incr "count.transactions";
   let items = Itemset.to_array tx in
   let len = Array.length items in
   let rec walk node start =
@@ -91,7 +92,8 @@ let to_list t =
   List.sort (fun (a, _) (b, _) -> Itemset.compare a b) !out
 
 let support_counts db candidates =
-  let t = create () in
-  List.iter (add t) candidates;
-  count_db t db;
-  to_list t
+  Ppdm_obs.Metrics.time "count.support_counts_ns" (fun () ->
+      let t = create () in
+      List.iter (add t) candidates;
+      count_db t db;
+      to_list t)

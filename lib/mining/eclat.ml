@@ -26,11 +26,7 @@ type atoms = {
 let atoms db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Eclat.atoms: min_support out of (0,1]";
-  let n = Db.length db in
-  let threshold =
-    max 1
-      (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
-  in
+  let threshold = Threshold.absolute ~n:(Db.length db) ~min_support in
   (* Build tid-sets for frequent items (tids are ascending by construction
      of the scan). *)
   let buckets = Array.make (Db.universe db) [] in
@@ -45,7 +41,9 @@ let atoms db ~min_support =
              Some (item, Array.of_list (List.rev tids))
            else None))
   in
-  { threshold; items = Array.of_list items }
+  let items = Array.of_list items in
+  Ppdm_obs.Metrics.gauge "eclat.atoms" (float_of_int (Array.length items));
+  { threshold; items }
 
 let atom_count t = Array.length t.items
 
@@ -57,6 +55,7 @@ let rec dfs t cap results prefix depth atoms =
     (fun idx (item, tids) ->
       let count = Array.length tids in
       let pattern = item :: prefix in
+      Ppdm_obs.Metrics.incr "eclat.patterns";
       results := (Itemset.of_list pattern, count) :: !results;
       if depth < cap then begin
         let extensions =
@@ -82,6 +81,7 @@ let mine_atoms ?max_size t ~lo ~hi =
        output (the basis of the parallel driver). *)
     for i = lo to hi - 1 do
       let item, tids = t.items.(i) in
+      Ppdm_obs.Metrics.incr "eclat.patterns";
       results := (Itemset.singleton item, Array.length tids) :: !results;
       if cap > 1 then begin
         let extensions = ref [] in
@@ -91,6 +91,11 @@ let mine_atoms ?max_size t ~lo ~hi =
           if Array.length joint >= t.threshold then
             extensions := (other, joint) :: !extensions
         done;
+        (* The frontier of each prefix class: how evenly the DFS work is
+           cut, which is what the parallel driver load-balances over. *)
+        if Ppdm_obs.Metrics.enabled () then
+          Ppdm_obs.Metrics.observe "eclat.prefix_class.extensions"
+            (List.length !extensions);
         if !extensions <> [] then dfs t cap results [ item ] 2 !extensions
       end
     done;
@@ -100,6 +105,7 @@ let mine_atoms ?max_size t ~lo ~hi =
 let mine ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Eclat.mine: min_support out of (0,1]";
-  let t = atoms db ~min_support in
-  let results = mine_atoms ?max_size t ~lo:0 ~hi:(atom_count t) in
-  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) results
+  Ppdm_obs.Span.with_ ~name:"eclat.mine" (fun () ->
+      let t = atoms db ~min_support in
+      let results = mine_atoms ?max_size t ~lo:0 ~hi:(atom_count t) in
+      List.sort (fun (a, _) (b, _) -> Itemset.compare a b) results)

@@ -100,10 +100,7 @@ let item_total tree item =
 let mine ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Fptree.mine: min_support out of (0,1]";
-  let n = Db.length db in
-  let threshold =
-    max 1 (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))
-  in
+  let threshold = Threshold.absolute ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in
   if cap < 1 then []
   else begin

@@ -1,0 +1,5 @@
+let absolute ~n ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Threshold.absolute: min_support out of (0,1]";
+  if n < 0 then invalid_arg "Threshold.absolute: negative n";
+  max 1 (int_of_float (Float.ceil ((min_support *. float_of_int n) -. 1e-9)))

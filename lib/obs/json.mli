@@ -1,0 +1,30 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    Just enough machinery for the observability layer: {!Report} emits
+    metric lines through {!to_string}, and the CI smoke check re-parses
+    them through {!parse} without any external tooling (no jq, no opam
+    JSON package).  Not a general-purpose JSON library: numbers parse to
+    [Float], no streaming, whole-value input only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace).  Strings are escaped per RFC 8259;
+    non-finite floats render as [null] (JSON has no representation for
+    them). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  Numbers
+    come back as [Int] when integral and exactly representable, [Float]
+    otherwise. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] on absent key or
+    non-object. *)

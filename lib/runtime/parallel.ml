@@ -13,6 +13,7 @@ let check_universe ~who scheme db =
 
 let randomize_db pool ?chunk scheme rng db =
   check_universe ~who:"randomize_db" scheme db;
+  Ppdm_obs.Span.with_ ~name:"parallel.randomize" @@ fun () ->
   warm scheme db;
   let randomized =
     Pool.map_array pool ~rng ?chunk
@@ -23,6 +24,7 @@ let randomize_db pool ?chunk scheme rng db =
 
 let randomize_db_tagged pool ?chunk scheme rng db =
   check_universe ~who:"randomize_db_tagged" scheme db;
+  Ppdm_obs.Span.with_ ~name:"parallel.randomize" @@ fun () ->
   warm scheme db;
   Pool.map_array pool ~rng ?chunk
     ~f:(fun child tx -> (Itemset.cardinal tx, Randomizer.apply scheme child tx))
@@ -37,6 +39,7 @@ let chunk_tasks ~n ~chunk make =
 
 let observe_all pool ?(chunk = Pool.default_chunk) ~scheme ~itemset data =
   if chunk <= 0 then invalid_arg "Parallel.observe_all: chunk must be positive";
+  Ppdm_obs.Span.with_ ~name:"parallel.observe" @@ fun () ->
   let n = Array.length data in
   if n = 0 then Stream.create ~scheme ~itemset
   else begin
@@ -53,6 +56,7 @@ let observe_all pool ?(chunk = Pool.default_chunk) ~scheme ~itemset data =
   end
 
 let support_counts pool ?chunk db candidates =
+  Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
   let txs = Db.transactions db in
   let n = Array.length txs in
   (* Each chunk re-inserts the whole candidate list into its own trie, so
@@ -89,9 +93,11 @@ let support_counts pool ?chunk db candidates =
 let apriori_mine pool ?chunk ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Parallel.apriori_mine: min_support out of (0,1]";
+  Ppdm_obs.Span.with_ ~name:"parallel.apriori" @@ fun () ->
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in
   let level1 = Apriori.level1 db ~threshold in
+  Apriori.record_level ~size:1 ~candidates:level1 ~frequent:level1;
   let rec levels acc current size =
     if size > cap || current = [] then acc
     else begin
@@ -102,7 +108,10 @@ let apriori_mine pool ?chunk ?max_size db ~min_support =
       else begin
         let counted = support_counts pool ?chunk db candidates in
         let next = List.filter (fun (_, c) -> c >= threshold) counted in
-        levels (acc @ next) next (size + 1)
+        Apriori.record_level ~size ~candidates ~frequent:next;
+        (* rev_append, not (@): the final sort fixes the order, and
+           appending per level is quadratic in the output size. *)
+        levels (List.rev_append next acc) next (size + 1)
       end
     end
   in
@@ -110,6 +119,7 @@ let apriori_mine pool ?chunk ?max_size db ~min_support =
   List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
 
 let eclat_mine pool ?max_size db ~min_support =
+  Ppdm_obs.Span.with_ ~name:"parallel.eclat" @@ fun () ->
   let atoms = Eclat.atoms db ~min_support in
   let n = Eclat.atom_count atoms in
   if n = 0 || Option.value max_size ~default:max_int < 1 then []

@@ -5,6 +5,28 @@ open Ppdm_prng
    after a failure (and what makes shutdown unconditional). *)
 type task = unit -> unit
 
+(* ------------------------------------------------------- observability *)
+
+(* Which pool worker this domain is: 0 for the caller (it helps drain the
+   queue), i >= 1 for spawned workers.  Only used to label the per-domain
+   busy-time counters. *)
+let worker_id_key = Domain.DLS.new_key (fun () -> 0)
+
+(* Run one task under metrics (callers check the enabled flag first so the
+   disabled path stays a single branch).  [queued_at] is the submission
+   timestamp; its distance to the dequeue time is the queue wait. *)
+let timed_task ?queued_at f =
+  let t0 = Ppdm_obs.Metrics.now_ns () in
+  (match queued_at with
+  | Some t -> Ppdm_obs.Metrics.observe "pool.queue_wait_ns" (t0 - t)
+  | None -> ());
+  Ppdm_obs.Metrics.incr "pool.tasks";
+  Fun.protect f ~finally:(fun () ->
+      let id = Domain.DLS.get worker_id_key in
+      Ppdm_obs.Metrics.add
+        ("pool.busy_ns.w" ^ string_of_int id)
+        (Ppdm_obs.Metrics.now_ns () - t0))
+
 type t = {
   jobs : int;
   mutable workers : unit Domain.t array; (* jobs - 1 spawned domains *)
@@ -44,7 +66,10 @@ let create ~jobs =
      the queue), so the field is filled in after construction. *)
   if jobs > 1 then
     pool.workers <-
-      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_id_key (i + 1);
+              worker_loop pool));
   pool
 
 let jobs pool = pool.jobs
@@ -68,23 +93,30 @@ let with_pool ~jobs f =
    whole batch has drained (so the pool is quiescent again). *)
 let run_all pool fns =
   let n = Array.length fns in
+  (* Sampled once per batch: flipping the flag mid-batch must not tear a
+     batch's metrics. *)
+  let instrument = Ppdm_obs.Metrics.enabled () in
   if n = 0 then ()
-  else if Array.length pool.workers = 0 || n = 1 || pool.stopped then
+  else if Array.length pool.workers = 0 || n = 1 || pool.stopped then begin
     (* Sequential fallback: same closures, same order. *)
+    if instrument then Ppdm_obs.Metrics.incr "pool.batches";
     let failed = ref None in
     Array.iter
       (fun f ->
-        try f ()
+        try if instrument then timed_task f else f ()
         with e -> if !failed = None then failed := Some e)
       fns;
     Option.iter raise !failed
+  end
   else begin
+    if instrument then Ppdm_obs.Metrics.incr "pool.batches";
+    let queued_at = if instrument then Some (Ppdm_obs.Metrics.now_ns ()) else None in
     let remaining = Atomic.make n in
     let failed = Atomic.make None in
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
     let wrap f () =
-      (try f ()
+      (try if instrument then timed_task ?queued_at f else f ()
        with e -> ignore (Atomic.compare_and_set failed None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock batch_lock;

@@ -54,6 +54,17 @@ let read_channel ic =
         in
         parse_transaction ~universe line)
   in
+  (* A corrupted header with too small a count would otherwise silently
+     drop the tail of the file; only trailing blank lines are tolerated. *)
+  let rec check_trailing () =
+    match input_line ic with
+    | line ->
+        if String.trim line <> "" then
+          failwith "Io.read: trailing content after the declared transactions";
+        check_trailing ()
+    | exception End_of_file -> ()
+  in
+  check_trailing ();
   Db.create ~universe transactions
 
 let read_file path =

@@ -8,8 +8,12 @@ val write_channel : out_channel -> Db.t -> unit
 val write_file : string -> Db.t -> unit
 
 val read_channel : in_channel -> Db.t
-(** @raise Failure on malformed input (bad header, non-integer item,
-    item outside the declared universe, wrong transaction count). *)
+(** Reads to the end of the channel.  @raise Failure on malformed input
+    (bad header, non-integer item, item outside the declared universe,
+    fewer transactions than declared, or trailing non-blank content after
+    the declared count — either direction of a count/body mismatch is an
+    error, so a truncated or corrupted header never silently under-reads
+    the file). *)
 
 val read_file : string -> Db.t
 

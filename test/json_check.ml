@@ -1,0 +1,34 @@
+(* Validate JSON-lines input on stdin with the in-repo parser: every
+   non-empty line must parse and carry a "type" field.  Used by the CI
+   smoke step to check `ppdm mine --stats json` output without depending
+   on jq or any opam JSON package.  Exit 0 on success, 1 otherwise. *)
+
+let () =
+  let ok = ref true in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         incr lines;
+         match Ppdm_obs.Json.parse line with
+         | Ok v -> (
+             match Ppdm_obs.Json.member "type" v with
+             | Some (Ppdm_obs.Json.String _) -> ()
+             | _ ->
+                 ok := false;
+                 Printf.eprintf "json_check: line %d has no type field: %s\n"
+                   !lines line)
+         | Error e ->
+             ok := false;
+             Printf.eprintf "json_check: line %d unparsable (%s): %s\n" !lines e
+               line
+       end
+     done
+   with End_of_file -> ());
+  if !lines = 0 then begin
+    prerr_endline "json_check: no input lines";
+    exit 1
+  end;
+  if !ok then Printf.printf "json_check: %d lines ok\n" !lines
+  else exit 1

@@ -109,7 +109,13 @@ let test_io_malformed () =
   expect_failure "negative universe" "universe -1 transactions 0\n";
   expect_failure "item outside universe" "universe 2 transactions 1\n5\n";
   expect_failure "non-integer item" "universe 2 transactions 1\nfoo\n";
-  expect_failure "truncated body" "universe 2 transactions 2\n0\n"
+  expect_failure "truncated body" "universe 2 transactions 2\n0\n";
+  (* an understated header count must not silently drop the tail *)
+  expect_failure "trailing transaction" "universe 2 transactions 1\n0 1\n0\n";
+  expect_failure "trailing garbage" "universe 2 transactions 1\n0 1\nhello\n";
+  (* trailing blank lines (e.g. editor-added final newline) stay legal *)
+  let db = read_string "universe 2 transactions 1\n0 1\n\n  \n" in
+  Alcotest.(check int) "blank tail tolerated" 1 (Db.length db)
 
 let test_fimi_roundtrip () =
   let path = Filename.temp_file "ppdm_fimi" ".dat" in

@@ -27,4 +27,5 @@ let () =
       ("summarize", Test_summarize.suite);
       ("accountant", Test_accountant.suite);
       ("runtime", Test_runtime.suite);
+      ("obs", Test_obs.suite);
     ]

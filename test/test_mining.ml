@@ -98,6 +98,41 @@ let test_fptree_toy () =
     (Apriori.mine toy ~min_support:0.25)
     (Fptree.mine toy ~min_support:0.25)
 
+let test_threshold_rule () =
+  (* exactly integral product: 0.25 * 8 = 2, and count-2 itemsets qualify *)
+  Alcotest.(check int) "exact boundary" 2 (Threshold.absolute ~n:8 ~min_support:0.25);
+  (* float dust: 0.3 * 10 = 2.9999999999999996 in binary, still 3 *)
+  Alcotest.(check int) "dust below an integer product" 3
+    (Threshold.absolute ~n:10 ~min_support:0.3);
+  Alcotest.(check int) "strictly fractional rounds up" 3
+    (Threshold.absolute ~n:10 ~min_support:0.21);
+  Alcotest.(check int) "floor of 1" 1 (Threshold.absolute ~n:10 ~min_support:0.001);
+  Alcotest.(check int) "empty db" 1 (Threshold.absolute ~n:0 ~min_support:0.5);
+  Alcotest.check_raises "min_support 0"
+    (Invalid_argument "Threshold.absolute: min_support out of (0,1]") (fun () ->
+      ignore (Threshold.absolute ~n:10 ~min_support:0.));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Threshold.absolute: negative n") (fun () ->
+      ignore (Threshold.absolute ~n:(-1) ~min_support:0.5))
+
+let test_threshold_boundary_agreement () =
+  (* at a min_support whose product with n is exactly integral, the
+     include/exclude decision for count == threshold is where an
+     unguarded ceil in one miner would diverge from the others; assert
+     all three miners agree with the reference at such boundaries *)
+  List.iter
+    (fun min_support ->
+      let expected = reference_mine toy ~min_support ~max_size:6 in
+      let name which =
+        Printf.sprintf "%s at minsup %g (n=%d)" which min_support (Db.length toy)
+      in
+      check_same_result (name "apriori") expected (Apriori.mine toy ~min_support);
+      check_same_result (name "eclat") expected (Eclat.mine toy ~min_support);
+      check_same_result (name "fp-growth") expected (Fptree.mine toy ~min_support))
+    (* toy has n = 8: products 1.0, 2.0, 3.0, 4.0 exactly; 0.3 and 0.7
+       land on non-representable products just off an integer *)
+    [ 0.125; 0.25; 0.375; 0.5; 0.3; 0.7; 1.0 ]
+
 let test_downward_closure () =
   let result = Apriori.mine toy ~min_support:0.25 in
   let set = Hashtbl.create 16 in
@@ -198,6 +233,9 @@ let suite =
     Alcotest.test_case "candidate generation" `Quick test_candidates_from;
     Alcotest.test_case "eclat on toy db" `Quick test_eclat_toy;
     Alcotest.test_case "fp-growth on toy db" `Quick test_fptree_toy;
+    Alcotest.test_case "threshold rule" `Quick test_threshold_rule;
+    Alcotest.test_case "threshold boundary agreement" `Quick
+      test_threshold_boundary_agreement;
     Alcotest.test_case "downward closure" `Quick test_downward_closure;
     Alcotest.test_case "rules on toy db" `Quick test_rules_toy;
     Alcotest.test_case "rules ordering" `Quick test_rules_ordering;

@@ -88,6 +88,41 @@ let test_merge_mismatch () =
     (Invalid_argument "Stream.merge_into: itemset mismatch") (fun () ->
       Stream.merge_into a ~from:b)
 
+let test_merge_scheme_mismatch () =
+  (* accumulators built under different operator parameters must not
+     merge: estimate would invert the wrong transition matrices *)
+  let scheme, itemset, data = setup ~seed:8 in
+  let universe = 80 in
+  let a = Stream.create ~scheme ~itemset in
+  Stream.observe_all a (Array.sub data 0 20);
+  let noisier = Randomizer.cut_and_paste ~universe ~cutoff:5 ~rho:0.2 in
+  let b = Stream.create ~scheme:noisier ~itemset in
+  Stream.observe_all b (Array.sub data 20 20);
+  Alcotest.check_raises "different rho rejected"
+    (Invalid_argument "Stream.merge_into: scheme mismatch") (fun () ->
+      Stream.merge_into a ~from:b);
+  Alcotest.check_raises "merge list rejects too"
+    (Invalid_argument "Stream.merge_into: scheme mismatch") (fun () ->
+      ignore (Stream.merge [ a; b ]));
+  Alcotest.(check int) "failed merge left target untouched" 20 (Stream.observed a);
+  (* parameters are compared, not names: a scheme round-tripped through
+     Scheme_io (different name, same operator) still merges *)
+  let sizes =
+    List.sort_uniq compare (Array.to_list (Array.map fst data))
+  in
+  let path = Filename.temp_file "ppdm_stream_scheme" ".txt" in
+  let roundtripped =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Scheme_io.write_file path scheme ~sizes;
+        Scheme_io.read_file path)
+  in
+  let c = Stream.create ~scheme:roundtripped ~itemset in
+  Stream.observe_all c (Array.sub data 20 20);
+  Stream.merge_into a ~from:c;
+  Alcotest.(check int) "round-tripped scheme merges" 40 (Stream.observed a)
+
 let test_empty_estimate () =
   let scheme, itemset, _ = setup ~seed:4 in
   let acc = Stream.create ~scheme ~itemset in
@@ -145,6 +180,7 @@ let suite =
     Alcotest.test_case "merge" `Quick test_merge;
     Alcotest.test_case "merge n-way" `Quick test_merge_nway;
     Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
+    Alcotest.test_case "merge scheme mismatch" `Quick test_merge_scheme_mismatch;
     Alcotest.test_case "empty estimate" `Quick test_empty_estimate;
     Alcotest.test_case "online convergence" `Quick test_online_convergence;
     Alcotest.test_case "estimate is pure" `Quick test_estimate_is_pure;
