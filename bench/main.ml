@@ -350,6 +350,19 @@ let b5 () =
           let stream = Parallel.observe_all pool ~scheme ~itemset tagged in
           ignore (Stream.estimate stream)))
 
+let b6 () =
+  header "B6  Verification harness: ppdm_check selftest cost (count=20)";
+  let t0 = Unix.gettimeofday () in
+  let report = Ppdm_check.Selftest.run ~count:20 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-28s %d\n" "checks passed" report.Ppdm_check.Selftest.passed;
+  Printf.printf "%-28s %d\n" "checks failed" report.Ppdm_check.Selftest.failed;
+  Printf.printf "%-28s %.2f\n" "wall seconds" dt;
+  Printf.printf "%-28s %.1f\n" "checks per second"
+    (float_of_int
+       (report.Ppdm_check.Selftest.passed + report.Ppdm_check.Selftest.failed)
+    /. Float.max 1e-9 dt)
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -359,7 +372,8 @@ let timed f =
 let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
-    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5) ]
+    ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
+    ("b6", b6) ]
 
 let () =
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
@@ -384,5 +398,5 @@ let () =
         names
   | None ->
       List.iter timed [ t1; t2; t3; f1; f2; f3; f4; f5; a1; a2; a4; e1 ];
-      if not tables_only then List.iter timed [ b1; b2; a3; b3; b4; b5 ]);
+      if not tables_only then List.iter timed [ b1; b2; a3; b3; b4; b5; b6 ]);
   print_newline ()

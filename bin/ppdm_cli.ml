@@ -447,10 +447,37 @@ let experiment_cmd =
        ~doc:"Recompute one experiment of the reconstructed evaluation (raw rows).")
     Term.(const run $ which)
 
+(* ------------------------------------------------------------- selftest *)
+
+let selftest_cmd =
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Cases per property (statistical sample sizes scale along).  \
+             Defaults to $(b,PPDM_CHECK_COUNT) or 100; 25 is a sub-second \
+             smoke, 10000 a deep fuzz.")
+  in
+  let run count seed =
+    let report = Ppdm_check.Selftest.run ?count ~seed ~log:print_endline () in
+    Printf.printf "selftest: %d passed, %d failed\n" report.Ppdm_check.Selftest.passed
+      report.Ppdm_check.Selftest.failed;
+    if not (Ppdm_check.Selftest.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Run the in-process verification suite (property, differential, \
+          statistical, and fault-injection checks) and exit non-zero on any \
+          failure.  Failures print a seed that replays them.")
+    Term.(const run $ count $ seed_term)
+
 let main =
   Cmd.group
     (Cmd.info "ppdm" ~version:"1.0.0"
        ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
-    [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd; stats_cmd; experiment_cmd ]
+    [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd; stats_cmd; experiment_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,128 @@
+open Ppdm_prng
+open Ppdm_data
+open Ppdm_runtime
+
+let pool_error_propagates ~jobs ~k ~n =
+  if k < 0 || k >= n then invalid_arg "Fault.pool_error_propagates: k outside [0, n)";
+  Pool.with_pool ~jobs (fun pool ->
+      let ran = Array.make n false in
+      let first =
+        Fun.protect ~finally:Pool.clear_fault_injection (fun () ->
+            Pool.inject_task_failure ~k;
+            match
+              Pool.run pool (Array.init n (fun i -> fun () -> ran.(i) <- true))
+            with
+            | _ -> Error "injected fault did not surface"
+            | exception Pool.Injected_fault _ ->
+                let missing =
+                  List.filter
+                    (fun i -> i <> k && not ran.(i))
+                    (List.init n Fun.id)
+                in
+                if missing <> [] then
+                  Error
+                    (Printf.sprintf "tasks lost after fault: %s"
+                       (String.concat ","
+                          (List.map string_of_int missing)))
+                else if ran.(k) then
+                  Error "the armed task ran its body anyway"
+                else Ok ()
+            | exception e ->
+                Error ("unexpected exception: " ^ Printexc.to_string e))
+      in
+      match first with
+      | Error _ as e -> e
+      | Ok () -> (
+          (* the pool must remain usable: workers never die *)
+          match Pool.run pool (Array.init 4 (fun i -> fun () -> i * i)) with
+          | [| 0; 1; 4; 9 |] -> Ok ()
+          | _ -> Error "pool returned wrong results after a fault"
+          | exception e ->
+              Error ("pool unusable after a fault: " ^ Printexc.to_string e)))
+
+let map_reduce_fault_no_partial ~jobs =
+  Pool.with_pool ~jobs (fun pool ->
+      Fun.protect ~finally:Pool.clear_fault_injection (fun () ->
+          Pool.inject_task_failure ~k:1;
+          let rng = Rng.create ~seed:7 () in
+          match
+            Pool.map_reduce pool ~rng ~n:5000 ~chunk:512
+              ~map:(fun _ ~pos:_ ~len -> len)
+              ~reduce:( + ) ()
+          with
+          | _ -> Error "fault did not surface through map_reduce"
+          | exception Pool.Injected_fault _ -> Ok ()
+          | exception e ->
+              Error ("unexpected exception: " ^ Printexc.to_string e)))
+
+let with_temp_db f =
+  let db =
+    Db.create ~universe:6
+      (Array.map Itemset.of_list [| [ 0; 1 ]; [ 2 ]; [ 3; 4 ]; [ 5 ] |])
+  in
+  let path = Filename.temp_file "ppdm_fault" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_file path db;
+      Fun.protect ~finally:Io.clear_fault_injection (fun () -> f db path))
+
+let io_truncated_read_rejected () =
+  with_temp_db (fun db path ->
+      (* header + 2 of the 4 declared transactions survive *)
+      Io.inject_read_truncation ~lines:3;
+      let truncated =
+        match Io.read_file path with
+        | partial ->
+            Error
+              (Printf.sprintf
+                 "truncated read returned a partial database (%d transactions)"
+                 (Db.length partial))
+        | exception Failure _ -> Ok ()
+        | exception e ->
+            Error ("undocumented exception: " ^ Printexc.to_string e)
+      in
+      match truncated with
+      | Error _ as e -> e
+      | Ok () -> (
+          Io.clear_fault_injection ();
+          match Io.read_file path with
+          | full when Db.length full = Db.length db -> Ok ()
+          | full ->
+              Error
+                (Printf.sprintf "clean re-read lost transactions: %d of %d"
+                   (Db.length full) (Db.length db))
+          | exception e ->
+              Error ("clean re-read failed: " ^ Printexc.to_string e)))
+
+let io_truncated_header_rejected () =
+  with_temp_db (fun _ path ->
+      Io.inject_read_truncation ~lines:0;
+      match Io.read_file path with
+      | _ -> Error "header truncation returned a database"
+      | exception Failure _ -> Ok ()
+      | exception e ->
+          Error ("undocumented exception: " ^ Printexc.to_string e))
+
+let io_fimi_truncation_is_silent () =
+  let db =
+    Db.create ~universe:6
+      (Array.map Itemset.of_list [| [ 0; 1 ]; [ 2 ]; [ 3; 4 ]; [ 5 ] |])
+  in
+  let path = Filename.temp_file "ppdm_fault" ".fimi" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_fimi path db;
+      Fun.protect ~finally:Io.clear_fault_injection (fun () ->
+          Io.inject_read_truncation ~lines:2;
+          match Io.read_fimi path with
+          | partial when Db.length partial = 2 -> Ok ()
+          | partial ->
+              Error
+                (Printf.sprintf "expected 2 surviving transactions, got %d"
+                   (Db.length partial))
+          | exception e ->
+              Error
+                ("FIMI truncation should be silent, got "
+                ^ Printexc.to_string e)))

@@ -1,0 +1,34 @@
+(** Deterministic fault-injection scenarios.
+
+    Each scenario arms a hook ({!Ppdm_runtime.Pool.inject_task_failure}
+    or {!Ppdm_data.Io.inject_read_truncation}), drives the real code
+    path, and asserts the documented failure contract: the error reaches
+    the caller as the documented exception, sibling work still completes,
+    nothing hangs, and no partial output escapes.  Every scenario disarms
+    its hook in a [finally], so a failing scenario cannot poison later
+    checks. *)
+
+val pool_error_propagates : jobs:int -> k:int -> n:int -> (unit, string) result
+(** Run a batch of [n] tasks on a [jobs]-domain pool with the [k]-th
+    armed to fail.  Asserts: {!Ppdm_runtime.Pool.Injected_fault} reaches
+    the caller; every other task ran to completion (no structural
+    cancellation); and the pool still executes a clean follow-up batch
+    (workers survive).  Requires [0 <= k < n]. *)
+
+val map_reduce_fault_no_partial : jobs:int -> (unit, string) result
+(** Arm a fault at a middle chunk of a [map_reduce] and assert the call
+    raises rather than returning a partially reduced value. *)
+
+val io_truncated_read_rejected : unit -> (unit, string) result
+(** Write a database, arm a truncation mid-body, and assert
+    {!Ppdm_data.Io.read_file} raises its documented [Failure] ("fewer
+    transactions than declared") instead of returning a partial database
+    — then that the same file reads back fully once disarmed. *)
+
+val io_truncated_header_rejected : unit -> (unit, string) result
+(** Truncation before the header must fail as "empty input". *)
+
+val io_fimi_truncation_is_silent : unit -> (unit, string) result
+(** The FIMI format declares no count, so truncation yields a shorter
+    database with no error — asserted here to document the asymmetry the
+    header format exists to close. *)

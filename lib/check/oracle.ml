@@ -1,0 +1,204 @@
+open Ppdm_data
+open Ppdm_linalg
+open Ppdm_mining
+open Ppdm
+
+type miner = string * (Db.t -> min_support:float -> (Itemset.t * int) list)
+
+let sequential_miners ?max_size () =
+  [
+    ("apriori", fun db ~min_support -> Apriori.mine ?max_size db ~min_support);
+    ("eclat", fun db ~min_support -> Eclat.mine ?max_size db ~min_support);
+    ("fp-growth", fun db ~min_support -> Fptree.mine ?max_size db ~min_support);
+  ]
+
+let parallel_miners ?max_size pool =
+  let j = string_of_int (Ppdm_runtime.Pool.jobs pool) in
+  [
+    ( "parallel-apriori/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.apriori_mine pool ?max_size db ~min_support );
+    ( "parallel-eclat/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.eclat_mine pool ?max_size db ~min_support );
+  ]
+
+let canonical l =
+  let sorted = List.sort (fun (a, _) (b, _) -> Itemset.compare a b) l in
+  String.concat ";"
+    (List.map
+       (fun (s, c) -> Printf.sprintf "%s:%d" (Itemset.to_string s) c)
+       sorted)
+
+let agree ~miners db ~min_support =
+  match miners with
+  | [] -> Ok ()
+  | (ref_name, ref_miner) :: rest ->
+      let reference = canonical (ref_miner db ~min_support) in
+      let rec go = function
+        | [] -> Ok ()
+        | (name, m) :: tl ->
+            let got = canonical (m db ~min_support) in
+            if String.equal got reference then go tl
+            else
+              Error
+                (Printf.sprintf "%s disagrees with %s\n  %s: %s\n  %s: %s"
+                   name ref_name ref_name reference name got)
+      in
+      go rest
+
+let brute_force_frequent ?(max_size = max_int) db ~min_support =
+  let u = Db.universe db in
+  if u > 16 then
+    invalid_arg "Oracle.brute_force_frequent: universe too large (max 16)";
+  let threshold =
+    Apriori.absolute_threshold ~n:(Db.length db) ~min_support
+  in
+  let out = ref [] in
+  for mask = 1 to (1 lsl u) - 1 do
+    let items =
+      List.filter (fun i -> (mask lsr i) land 1 = 1) (List.init u Fun.id)
+    in
+    if List.length items <= max_size then begin
+      let s = Itemset.of_list items in
+      let c = Db.support_count db s in
+      if c >= threshold then out := (s, c) :: !out
+    end
+  done;
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) !out
+
+(* ------------------------------------------------------------ metamorphic *)
+
+let duplicate_scales db ~index ~probes =
+  if index < 0 || index >= Db.length db then
+    invalid_arg "Oracle.duplicate_scales: index out of range";
+  let t = Db.get db index in
+  let extended =
+    Db.append db (Db.create ~universe:(Db.universe db) [| t |])
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | probe :: rest ->
+        let before = Db.support_count db probe in
+        let after = Db.support_count extended probe in
+        let expected = before + if Itemset.subset probe t then 1 else 0 in
+        if after = expected then go rest
+        else
+          Error
+            (Printf.sprintf
+               "duplicating tx %d: support of %s went %d -> %d, expected %d"
+               index (Itemset.to_string probe) before after expected)
+  in
+  go probes
+
+let check_permutation ~universe perm =
+  if Array.length perm <> universe then
+    invalid_arg "Oracle.permutation_relabels: wrong permutation length";
+  let seen = Array.make universe false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= universe || seen.(i) then
+        invalid_arg "Oracle.permutation_relabels: not a permutation";
+      seen.(i) <- true)
+    perm
+
+let apply_perm perm s =
+  Itemset.of_list (List.map (fun i -> perm.(i)) (Itemset.to_list s))
+
+let permutation_relabels (name, miner) db ~min_support ~perm =
+  check_permutation ~universe:(Db.universe db) perm;
+  let permuted = Db.map (apply_perm perm) db in
+  let got = canonical (miner permuted ~min_support) in
+  let expected =
+    canonical
+      (List.map (fun (s, c) -> (apply_perm perm s, c)) (miner db ~min_support))
+  in
+  if String.equal got expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s is not permutation-equivariant\n  got:      %s\n  expected: %s"
+         name got expected)
+
+let padding_noop (name, miner) db ~min_support ~pad =
+  if pad < 0 then invalid_arg "Oracle.padding_noop: negative pad";
+  let padded =
+    Db.create ~universe:(Db.universe db + pad) (Db.transactions db)
+  in
+  let got = canonical (miner padded ~min_support) in
+  let expected = canonical (miner db ~min_support) in
+  if String.equal got expected then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "%s is not invariant under universe padding\n  padded:   %s\n  original: %s"
+         name got expected)
+
+(* ---------------------------------------------------- estimator reference *)
+
+(* Plain Gaussian elimination with partial pivoting; [a] and [b] are
+   consumed.  Deliberately independent of Ppdm_linalg.Lu: the point of the
+   oracle is that the production solve and the reference cannot share a
+   bug. *)
+let solve_gaussian a b =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-300 then
+      invalid_arg "Oracle: singular transition matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0. then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  x
+
+let brute_force_support_estimate ~scheme ~data ~itemset =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Oracle.brute_force_support_estimate: empty data";
+  let k = Itemset.cardinal itemset in
+  let m = fst data.(0) in
+  Array.iter
+    (fun (size, _) ->
+      if size <> m then
+        invalid_arg
+          "Oracle.brute_force_support_estimate: single transaction size only")
+    data;
+  if k > m then
+    invalid_arg "Oracle.brute_force_support_estimate: itemset larger than size";
+  let counts = Array.make (k + 1) 0 in
+  Array.iter
+    (fun (_, y) ->
+      let l' = Itemset.inter_size y itemset in
+      counts.(l') <- counts.(l') + 1)
+    data;
+  let frac = Array.map (fun c -> float_of_int c /. float_of_int n) counts in
+  let p = Transition.of_scheme scheme ~size:m ~k in
+  let a =
+    Array.init (k + 1) (fun i -> Array.init (k + 1) (fun j -> Mat.get p i j))
+  in
+  let x = solve_gaussian a frac in
+  x.(k)

@@ -1,0 +1,68 @@
+(** Differential and metamorphic oracles.
+
+    Randomization-based miners fail {e silently}: a wrong transition
+    matrix or a biased estimator still produces plausible itemsets.  The
+    defenses here never trust a single implementation — they compare
+    independent ones (differential), or compare a computation against a
+    transformed version of itself whose answer is known to transform
+    predictably (metamorphic). *)
+
+open Ppdm_data
+open Ppdm
+
+type miner = string * (Db.t -> min_support:float -> (Itemset.t * int) list)
+(** A named frequent-itemset miner under test. *)
+
+val sequential_miners : ?max_size:int -> unit -> miner list
+(** Apriori, Eclat, and FP-growth. *)
+
+val parallel_miners : ?max_size:int -> Ppdm_runtime.Pool.t -> miner list
+(** The parallel Apriori and Eclat drivers on the given pool, labelled
+    with its job count. *)
+
+val canonical : (Itemset.t * int) list -> string
+(** Sorted ({!Itemset.compare}) and printed: the byte-comparable form the
+    differential checks compare ("byte-identical sorted output"). *)
+
+val agree : miners:miner list -> Db.t -> min_support:float -> (unit, string) result
+(** All miners produce the same {!canonical} string as the first one;
+    [Error] names the disagreeing pair and shows both outputs. *)
+
+val brute_force_frequent :
+  ?max_size:int -> Db.t -> min_support:float -> (Itemset.t * int) list
+(** Reference miner by exhaustive enumeration of every itemset over the
+    universe (threshold rule shared through
+    {!Ppdm_mining.Apriori.absolute_threshold}).
+    @raise Invalid_argument if the universe exceeds 16 items. *)
+
+(** {1 Metamorphic laws} *)
+
+val duplicate_scales :
+  Db.t -> index:int -> probes:Itemset.t list -> (unit, string) result
+(** Appending a copy of transaction [index] raises the support count of
+    exactly the probes contained in it, by exactly one. *)
+
+val permutation_relabels :
+  miner -> Db.t -> min_support:float -> perm:int array -> (unit, string) result
+(** Relabelling every item through a bijection of the universe relabels
+    the mined collection and nothing else (same counts).
+    @raise Invalid_argument if [perm] is not a permutation of the
+    universe. *)
+
+val padding_noop :
+  miner -> Db.t -> min_support:float -> pad:int -> (unit, string) result
+(** Growing the universe by [pad] items that occur in no transaction
+    leaves the mined collection untouched. *)
+
+(** {1 Estimator reference} *)
+
+val brute_force_support_estimate :
+  scheme:Randomizer.t -> data:(int * Itemset.t) array -> itemset:Itemset.t -> float
+(** Independent re-derivation of the recovered support on a single
+    transaction-size class: observed partial-support counts by a direct
+    scan, the transition matrix from {!Ppdm.Transition}, and the solve by
+    a self-contained Gaussian elimination (not
+    {!Ppdm_linalg.Lu}) — so a bug in the production solve or the
+    count aggregation cannot also hide in the oracle.
+    @raise Invalid_argument on empty data, mixed transaction sizes, or a
+    transaction size smaller than the itemset. *)

@@ -1,0 +1,102 @@
+open Ppdm_prng
+
+exception Failed of string
+
+type failure = {
+  seed : int;
+  case : int;
+  size : int;
+  shrink_steps : int;
+  counterexample : string;
+  message : string;
+}
+
+type result = { name : string; cases : int; failure : failure option }
+
+(* A fixed default seed keeps plain `dune runtest` deterministic; CI's
+   deep-fuzz job overrides it through the environment and echoes the
+   value so any failure is replayable from the logs. *)
+let default_seed = 0x00c4ec5eed
+
+let env_int name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+
+let env_count ~default = max 1 (env_int "PPDM_CHECK_COUNT" ~default)
+let default_count () = env_count ~default:100
+let scaled ~base = max base (base * default_count () / 100)
+
+let run_one prop x =
+  match prop x with
+  | Ok () -> None
+  | Error m -> Some m
+  | exception e -> Some ("raised " ^ Printexc.to_string e)
+
+let max_shrink_steps = 400
+
+let rec shrink_loop g prop x msg steps =
+  if steps >= max_shrink_steps then (x, msg, steps)
+  else
+    match
+      Seq.find_map
+        (fun c ->
+          match run_one prop c with Some m -> Some (c, m) | None -> None)
+        (Gen.shrink g x)
+    with
+    | Some (c, m) -> shrink_loop g prop c m (steps + 1)
+    | None -> (x, msg, steps)
+
+let check_result ?seed ?count ?(max_size = 30) ~name g prop =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> env_int "PPDM_CHECK_SEED" ~default:default_seed
+  in
+  let count = match count with Some c -> max 1 c | None -> default_count () in
+  let root = Rng.create ~seed () in
+  let fail ~case ~size ~shrink_steps ~counterexample ~message =
+    {
+      name;
+      cases = case + 1;
+      failure =
+        Some { seed; case; size; shrink_steps; counterexample; message };
+    }
+  in
+  let rec loop i =
+    if i >= count then { name; cases = count; failure = None }
+    else
+      let rng = Rng.derive root ~index:i in
+      let size = 2 + (max_size - 2) * i / max 1 (count - 1) in
+      match Gen.generate g rng ~size with
+      | exception e ->
+          fail ~case:i ~size ~shrink_steps:0 ~counterexample:"<none>"
+            ~message:("generator raised " ^ Printexc.to_string e)
+      | x -> (
+          match run_one prop x with
+          | None -> loop (i + 1)
+          | Some msg ->
+              let x, msg, steps = shrink_loop g prop x msg 0 in
+              fail ~case:i ~size ~shrink_steps:steps
+                ~counterexample:(Gen.print g x) ~message:msg)
+  in
+  loop 0
+
+let check ?seed ?count ?max_size ~name g prop =
+  check_result ?seed ?count ?max_size ~name g (fun x ->
+      if prop x then Ok () else Error "property returned false")
+
+let describe r =
+  match r.failure with
+  | None -> Printf.sprintf "property %S passed (%d cases)" r.name r.cases
+  | Some f ->
+      Printf.sprintf
+        "property %S failed at case %d/%d (size %d, %d shrink steps)\n\
+         counterexample: %s\n\
+         reason: %s\n\
+         replay: seed=%d (rerun with PPDM_CHECK_SEED=%d or ~seed:%d)"
+        r.name f.case r.cases f.size f.shrink_steps f.counterexample
+        f.message f.seed f.seed f.seed
+
+let assert_ok r =
+  match r.failure with None -> () | Some _ -> raise (Failed (describe r))

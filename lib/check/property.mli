@@ -1,0 +1,70 @@
+(** The property runner: run a predicate over generated inputs, shrink any
+    counterexample to a minimal one, and report a replayable seed.
+
+    Every case [i] of a run draws from [Rng.derive root ~index:i] where
+    [root] is built from one 64-bit seed, so a failure report of the form
+    [seed=S case=I] replays exactly — re-running the same check with
+    [~seed:S] (or [PPDM_CHECK_SEED=S] in the environment) regenerates the
+    identical input sequence, independent of how many properties ran
+    before or after.
+
+    Case counts default to [$PPDM_CHECK_COUNT] (or 100): CI runs fast,
+    nightly deep-fuzz runs set it to 10000 and every statistical sample
+    size in {!Stat} scales along via {!scaled}. *)
+
+exception Failed of string
+(** Raised by {!assert_ok}; the message carries the seed, the shrunk
+    counterexample, and the replay instructions. *)
+
+type failure = {
+  seed : int;  (** root seed of the run *)
+  case : int;  (** index of the first failing case *)
+  size : int;  (** generator size at that case *)
+  shrink_steps : int;
+  counterexample : string;  (** printed, after shrinking *)
+  message : string;  (** why it failed: [false] or the exception *)
+}
+
+type result = { name : string; cases : int; failure : failure option }
+
+val env_count : default:int -> int
+(** [$PPDM_CHECK_COUNT] parsed (clamped to at least 1), else [default]. *)
+
+val default_count : unit -> int
+(** [env_count ~default:100]. *)
+
+val scaled : base:int -> int
+(** [base * default_count () / 100], at least [base]: how statistical
+    sample sizes follow the environment knob. *)
+
+val check :
+  ?seed:int ->
+  ?count:int ->
+  ?max_size:int ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  result
+(** Run the predicate on [count] generated inputs (size growing from 2 to
+    [max_size], default 30).  A [false] result or any exception is a
+    failure; the input is then shrunk greedily (first failing candidate,
+    up to 400 steps) before reporting.  [seed] defaults to
+    [$PPDM_CHECK_SEED] or a fixed constant. *)
+
+val check_result :
+  ?seed:int ->
+  ?count:int ->
+  ?max_size:int ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> (unit, string) Stdlib.result) ->
+  result
+(** Like {!check} for properties that explain their failures. *)
+
+val assert_ok : result -> unit
+(** Raise {!Failed} with a full report if the result carries a failure;
+    the alcotest adapter ([Alcotest.test_case] around [assert_ok (check
+    ...)]) and {!Selftest} both funnel through this. *)
+
+val describe : result -> string
+(** One line for a pass, the full failure report otherwise. *)

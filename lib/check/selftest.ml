@@ -1,0 +1,317 @@
+open Ppdm_prng
+open Ppdm_data
+open Ppdm
+open Ppdm_runtime
+
+type outcome = { name : string; ok : bool; detail : string }
+type report = { passed : int; failed : int; outcomes : outcome list }
+
+let ok r = r.failed = 0
+
+(* Adapt a Property result to the scenario shape. *)
+let prop r =
+  match r.Property.failure with
+  | None -> Ok ()
+  | Some _ -> Error (Property.describe r)
+
+(* A database paired with a threshold: the input of every mining check. *)
+let mining_case ~seed ~count =
+  ignore seed;
+  ignore count;
+  Gen.pair (Gen.db ~max_universe:10 ~max_transactions:40 ()) Gen.min_support
+
+let differential_check ~seed ~count pools =
+  let miners =
+    (("brute-force", fun db ~min_support ->
+        Oracle.brute_force_frequent ~max_size:4 db ~min_support)
+    :: Oracle.sequential_miners ~max_size:4 ())
+    @ List.concat_map (Oracle.parallel_miners ~max_size:4) pools
+  in
+  prop
+    (Property.check_result ~seed ~count ~name:"differential: all miners agree"
+       (mining_case ~seed ~count)
+       (fun (db, min_support) -> Oracle.agree ~miners db ~min_support))
+
+let metamorphic_check ~seed ~count =
+  let case =
+    Gen.pair (mining_case ~seed ~count) (Gen.int_range 0 1_000_000)
+  in
+  let miners = Oracle.sequential_miners ~max_size:4 () in
+  prop
+    (Property.check_result ~seed ~count ~name:"metamorphic laws hold"
+       case
+       (fun ((db, min_support), key) ->
+         let rng = Rng.create ~seed:key () in
+         let u = Db.universe db in
+         let perm =
+           Gen.generate (Gen.permutation ~n:u) rng ~size:u
+         in
+         let pad = 1 + Rng.int rng 4 in
+         let rec all = function
+           | [] ->
+               if Db.length db = 0 then Ok ()
+               else
+                 let index = Rng.int rng (Db.length db) in
+                 let probes =
+                   List.init 5 (fun i ->
+                       Gen.generate (Gen.itemset ~universe:u)
+                         (Rng.derive rng ~index:i) ~size:4)
+                 in
+                 Oracle.duplicate_scales db ~index ~probes
+           | m :: rest -> (
+               match Oracle.permutation_relabels m db ~min_support ~perm with
+               | Error _ as e -> e
+               | Ok () -> (
+                   match Oracle.padding_noop m db ~min_support ~pad with
+                   | Error _ as e -> e
+                   | Ok () -> all rest))
+         in
+         all miners))
+
+let estimator_reference_check ~seed ~count =
+  let case =
+    Gen.pair
+      (Gen.fixed_size_db ~universe:8 ~card:4 ~max_transactions:30)
+      (Gen.scheme ~universe:8)
+  in
+  let itemset = Itemset.of_list [ 0; 1 ] in
+  prop
+    (Property.check_result ~seed ~count:(max 10 (count / 2))
+       ~name:"estimator matches the brute-force reference" case
+       (fun (db, scheme) ->
+         let rng = Rng.create ~seed:(Db.length db + seed) () in
+         let data = Randomizer.apply_db_tagged scheme rng db in
+         let reference =
+           Oracle.brute_force_support_estimate ~scheme ~data ~itemset
+         in
+         let est = (Estimator.estimate ~scheme ~data ~itemset).Estimator.support in
+         if Float.abs (est -. reference) <= 1e-6 *. Float.max 1. (Float.abs est)
+         then Ok ()
+         else
+           Error
+             (Printf.sprintf "estimate %.9f but brute-force reference %.9f" est
+                reference)))
+
+let p_floor = 0.001
+
+let transition_check ~rng () =
+  let schemes =
+    [
+      ("uniform(0.7,0.1)", Randomizer.uniform ~universe:12 ~p_keep:0.7 ~p_add:0.1);
+      ("cut-and-paste(3,0.2)", Randomizer.cut_and_paste ~universe:12 ~cutoff:3 ~rho:0.2);
+    ]
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (label, scheme) :: rest ->
+        let rec levels l =
+          if l > 2 then Ok ()
+          else
+            let p = Stat.transition_pvalue ~scheme ~size:4 ~k:2 ~l rng in
+            if p < p_floor then
+              Error
+                (Printf.sprintf
+                   "%s: empirical apply deviates from the transition matrix \
+                    at l=%d (chi-square p=%.2g < %.3f)"
+                   label l p p_floor)
+            else levels (l + 1)
+        in
+        (match levels 0 with Error _ as e -> e | Ok () -> go rest)
+  in
+  go schemes
+
+let amplification_check_ ~rng () =
+  let scheme = Randomizer.uniform ~universe:9 ~p_keep:0.6 ~p_add:0.2 in
+  Stat.amplification_check ~scheme ~size:3 rng
+
+let estimator_bias_check ~rng () =
+  let scheme = Randomizer.uniform ~universe:8 ~p_keep:0.8 ~p_add:0.1 in
+  let db =
+    Db.create ~universe:8
+      (Array.init 50 (fun i ->
+           if i mod 2 = 0 then Itemset.of_list [ 0; 1; 3 ]
+           else Itemset.of_list [ 1; 2 ]))
+  in
+  let itemset = Itemset.of_list [ 0; 1 ] in
+  let p = Stat.estimator_bias_pvalue ~scheme ~db ~itemset rng in
+  if p < p_floor then
+    Error
+      (Printf.sprintf "estimator bias z-test rejected (p=%.2g < %.3f)" p p_floor)
+  else Ok ()
+
+let fuzz_roundtrip_checks ~seed ~count =
+  let db_gen = Gen.db ~max_universe:12 ~max_transactions:20 () in
+  let with_temp suffix content f =
+    let path = Filename.temp_file "ppdm_selftest" suffix in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        content path;
+        f path)
+  in
+  [
+    ( "fuzz: Io write/read round-trip",
+      fun () ->
+        prop
+          (Property.check_result ~seed ~count:(max 10 (count / 4))
+             ~name:"Io round-trip" db_gen (fun db ->
+               with_temp ".txt" (fun p -> Io.write_file p db) (fun p ->
+                   let back = Io.read_file p in
+                   if
+                     Db.universe back = Db.universe db
+                     && Array.for_all2 Itemset.equal (Db.transactions back)
+                          (Db.transactions db)
+                   then Ok ()
+                   else Error "database changed across write/read"))) );
+    ( "fuzz: FIMI write/read round-trip",
+      fun () ->
+        prop
+          (Property.check_result ~seed ~count:(max 10 (count / 4))
+             ~name:"FIMI round-trip" db_gen (fun db ->
+               with_temp ".fimi" (fun p -> Io.write_fimi p db) (fun p ->
+                   let back = Io.read_fimi ~universe:(Db.universe db) p in
+                   if
+                     Array.for_all2 Itemset.equal (Db.transactions back)
+                       (Db.transactions db)
+                   then Ok ()
+                   else Error "transactions changed across FIMI write/read"))) );
+    ( "fuzz: Scheme_io write/read round-trip",
+      fun () ->
+        prop
+          (Property.check_result ~seed ~count:(max 10 (count / 4))
+             ~name:"Scheme_io round-trip"
+             (Gen.pair db_gen (Gen.int_range 0 1_000_000))
+             (fun (db, key) ->
+               let scheme =
+                 (* serialization is per-universe; build over the db's *)
+                 Gen.generate
+                   (Gen.scheme ~universe:(Db.universe db))
+                   (Rng.create ~seed:key ())
+                   ~size:4
+               in
+               let sizes = Scheme_io.sizes_of_db db in
+               if sizes = [] then Ok ()
+               else
+                 with_temp ".scheme"
+                   (fun p -> Scheme_io.write_file p scheme ~sizes)
+                   (fun p ->
+                     let back = Scheme_io.read_file p in
+                     if Randomizer.same_parameters scheme back ~sizes then
+                       Ok ()
+                     else Error "scheme parameters changed across write/read")))
+    );
+    ( "fuzz: parsers survive garbage",
+      fun () ->
+        let survives reader content =
+          let path = Filename.temp_file "ppdm_selftest" ".fuzz" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              let oc = open_out path in
+              output_string oc content;
+              close_out oc;
+              match reader path with
+              | _ -> true
+              | exception Failure _ -> true
+              | exception Invalid_argument _ -> true
+              | exception _ -> false)
+        in
+        prop
+          (Property.check_result ~seed ~count:(max 20 (count / 2))
+             ~name:"parsers survive garbage" Gen.garbage_string (fun s ->
+               if
+                 survives Io.read_file s
+                 && survives (fun p -> Io.read_fimi p) s
+                 && survives Scheme_io.read_file s
+               then Ok ()
+               else Error "a parser leaked an undocumented exception")) );
+  ]
+
+let run ?count ?(seed = 42) ?(log = ignore) () =
+  let count =
+    match count with Some c -> max 1 c | None -> Property.default_count ()
+  in
+  let rng = Rng.create ~seed () in
+  let pool1 = Pool.create ~jobs:1 in
+  let pool2 = Pool.create ~jobs:2 in
+  let pool4 = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool1;
+      Pool.shutdown pool2;
+      Pool.shutdown pool4)
+    (fun () ->
+      let pools = [ pool1; pool2; pool4 ] in
+      let checks =
+        [
+          ( "generators: randomizer closed over generated inputs",
+            fun () ->
+              prop
+                (Property.check_result ~seed ~count
+                   ~name:"generated schemes randomize generated databases"
+                   (Gen.pair
+                      (Gen.db ~max_universe:10 ~max_transactions:20 ())
+                      (Gen.int_range 0 1_000_000))
+                   (fun (db, key) ->
+                     let u = Db.universe db in
+                     let rng = Rng.create ~seed:key () in
+                     let scheme =
+                       Gen.generate (Gen.scheme ~universe:u) rng ~size:4
+                     in
+                     let out = Randomizer.apply_db scheme rng db in
+                     if
+                       Db.length out = Db.length db
+                       && Db.fold
+                            (fun acc tx ->
+                              acc
+                              && Itemset.fold
+                                   (fun i acc -> acc && i >= 0 && i < u)
+                                   tx true)
+                            true out
+                     then Ok ()
+                     else Error "randomized output escaped the universe")) );
+          ( "differential: apriori/eclat/fp-growth/parallel at jobs 1/2/4",
+            fun () -> differential_check ~seed ~count pools );
+          ("metamorphic: duplicate/permute/pad laws", fun () ->
+              metamorphic_check ~seed ~count);
+          ( "differential: estimator vs brute-force reference",
+            fun () -> estimator_reference_check ~seed ~count );
+          ("statistical: apply matches transition matrix (chi-square)", fun () ->
+              transition_check ~rng ());
+          ("statistical: amplification bound on sampled pairs", fun () ->
+              amplification_check_ ~rng ());
+          ("statistical: estimator unbiasedness (z-test)", fun () ->
+              estimator_bias_check ~rng ());
+          ("fault: pool task failure propagates, pool survives", fun () ->
+              Fault.pool_error_propagates ~jobs:4 ~k:3 ~n:16);
+          ("fault: sequential pool degrades identically", fun () ->
+              Fault.pool_error_propagates ~jobs:1 ~k:0 ~n:4);
+          ("fault: map_reduce returns nothing partial", fun () ->
+              Fault.map_reduce_fault_no_partial ~jobs:2);
+          ("fault: truncated read rejected", fun () ->
+              Fault.io_truncated_read_rejected ());
+          ("fault: truncated header rejected", fun () ->
+              Fault.io_truncated_header_rejected ());
+          ("fault: FIMI truncation silent (documented asymmetry)", fun () ->
+              Fault.io_fimi_truncation_is_silent ());
+        ]
+        @ fuzz_roundtrip_checks ~seed ~count
+      in
+      let outcomes =
+        List.map
+          (fun (name, check) ->
+            let ok, detail =
+              match check () with
+              | Ok () -> (true, "")
+              | Error d -> (false, d)
+              | exception e -> (false, "raised " ^ Printexc.to_string e)
+            in
+            log
+              (if ok then Printf.sprintf "ok   %s" name
+               else Printf.sprintf "FAIL %s\n     %s" name
+                   (String.concat "\n     " (String.split_on_char '\n' detail)));
+            { name; ok; detail })
+          checks
+      in
+      let passed = List.length (List.filter (fun o -> o.ok) outcomes) in
+      { passed; failed = List.length outcomes - passed; outcomes })

@@ -1,0 +1,27 @@
+(** The in-process verification suite behind [ppdm selftest].
+
+    A curated pass over all three pillars of the harness — generators,
+    differential/metamorphic oracles, statistical assertions — plus the
+    fault-injection scenarios and the parser fuzz round-trips.  It runs
+    against the installed code in the current process (no test runner,
+    no build tree), so a production binary can smoke-check itself; the
+    CLI maps a clean report to exit code 0.
+
+    Runtime scales linearly with [count]; the default
+    ({!Property.default_count}) finishes in a few seconds, [~count:25]
+    is a sub-second smoke. *)
+
+type outcome = { name : string; ok : bool; detail : string }
+(** [detail] is empty for a pass and carries the failure report — seed,
+    shrunk counterexample, reason — for a failure. *)
+
+type report = { passed : int; failed : int; outcomes : outcome list }
+
+val run : ?count:int -> ?seed:int -> ?log:(string -> unit) -> unit -> report
+(** Run every check.  [count] is the per-property case count (default
+    [$PPDM_CHECK_COUNT] or 100); statistical sample sizes scale with it.
+    [seed] (default 42) makes the whole run deterministic.  [log] is
+    called with one line per check as it completes (default: silent). *)
+
+val ok : report -> bool
+(** [failed = 0]. *)

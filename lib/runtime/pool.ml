@@ -27,6 +27,34 @@ let timed_task ?queued_at f =
         ("pool.busy_ns.w" ^ string_of_int id)
         (Ppdm_obs.Metrics.now_ns () - t0))
 
+(* --------------------------------------------------- fault injection *)
+
+exception Injected_fault of string
+
+(* Armed fault plan: [Some k] means the k-th task subsequently submitted
+   (counted across batches, in submission order on the caller's thread)
+   raises instead of running its body.  Submission-order counting is what
+   makes the failing task independent of domain scheduling. *)
+let fault_countdown : int option ref = ref None
+
+let inject_task_failure ~k =
+  if k < 0 then invalid_arg "Pool.inject_task_failure: negative k";
+  fault_countdown := Some k
+
+let clear_fault_injection () = fault_countdown := None
+
+let take_fault () =
+  match !fault_countdown with
+  | None -> false
+  | Some 0 ->
+      fault_countdown := None;
+      true
+  | Some k ->
+      fault_countdown := Some (k - 1);
+      false
+
+let injected_task () = raise (Injected_fault "Pool: injected task failure")
+
 type t = {
   jobs : int;
   mutable workers : unit Domain.t array; (* jobs - 1 spawned domains *)
@@ -92,6 +120,15 @@ let with_pool ~jobs f =
    letting it kill a worker, and re-raise it in the caller only after the
    whole batch has drained (so the pool is quiescent again). *)
 let run_all pool fns =
+  (* Decide fault substitution here, on the caller's thread and in task
+     order, so which task fails is deterministic at any job count.  The
+     replaced task raises through the normal collection path below: the
+     batch drains, the exception re-raises in the caller, the pool stays
+     usable — exactly what the verification harness asserts. *)
+  let fns =
+    if !fault_countdown = None then fns
+    else Array.map (fun f -> if take_fault () then injected_task else f) fns
+  in
   let n = Array.length fns in
   (* Sampled once per batch: flipping the flag mid-batch must not tear a
      batch's metrics. *)

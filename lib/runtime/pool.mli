@@ -52,6 +52,28 @@ val default_chunk : int
     constant by design: chunking must not depend on the job count, or
     outputs would differ across job counts. *)
 
+(** {2 Deterministic fault injection (testing)}
+
+    The verification harness ([ppdm_check]) proves that a task failure
+    surfaces as an exception in the caller with no deadlock, no lost
+    sibling tasks, and no dead pool.  [inject_task_failure ~k] arms a
+    one-shot fault: counting every task subsequently submitted to any
+    pool primitive (across batches) in submission order, the [k]-th task
+    raises {!Injected_fault} instead of running its body.  Counting
+    happens at submission time on the caller's thread, so the choice of
+    failing task is independent of domain scheduling and job count.
+    Test-only: the armed state is process-global and not synchronized
+    against concurrent submitters; always disarm in a [finally]. *)
+
+exception Injected_fault of string
+
+val inject_task_failure : k:int -> unit
+(** Arm the one-shot fault at the [k]-th subsequently submitted task
+    (0-based).  @raise Invalid_argument if [k < 0]. *)
+
+val clear_fault_injection : unit -> unit
+(** Disarm (idempotent). *)
+
 val run : t -> (unit -> 'a) array -> 'a array
 (** [run pool tasks] executes every task (on whatever domain), returning
     their results in task order.  If tasks raise, every task still runs

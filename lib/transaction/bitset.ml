@@ -76,6 +76,19 @@ let union = zip "union" ( lor )
 let inter = zip "inter" ( land )
 let diff = zip "diff" (fun x y -> x land lnot y)
 
+let complement t =
+  (* [lnot] also sets the bits above the width (up to OCaml's 63); mask
+     both the word width and the partial tail word so the all-zero-padding
+     invariant every other operation relies on still holds. *)
+  let full = (1 lsl bits_per_word) - 1 in
+  let words = Array.map (fun w -> lnot w land full) t.words in
+  let tail = t.width mod bits_per_word in
+  if tail > 0 then begin
+    let last = Array.length words - 1 in
+    words.(last) <- words.(last) land ((1 lsl tail) - 1)
+  end;
+  { t with words }
+
 let inter_cardinal a b =
   check_widths "inter_cardinal" a b;
   let acc = ref 0 in

@@ -28,6 +28,12 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 
+val complement : t -> t
+(** Every item of [0..width-1] not in the set:
+    [mem i (complement t) = not (mem i t)].  Satisfies
+    [diff a b = inter a (complement b)] and
+    [cardinal (complement t) = width t - cardinal t]. *)
+
 val inter_cardinal : t -> t -> int
 (** [cardinal (inter a b)] without allocating the intersection — the hot
     operation of dense partial-support counting. *)

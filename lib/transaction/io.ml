@@ -18,6 +18,29 @@ let write_file path db =
     ~finally:(fun () -> close_out oc)
     (fun () -> write_channel oc db)
 
+(* --------------------------------------------------- fault injection *)
+
+(* Test-only: simulate a truncated input by cutting the line stream short.
+   All readers below go through the shadowed [input_line], so an armed
+   truncation behaves exactly like a file whose tail was lost: the header
+   format must fail with its documented exception rather than return a
+   partial database. *)
+let truncate_after : int option ref = ref None
+
+let inject_read_truncation ~lines =
+  if lines < 0 then invalid_arg "Io.inject_read_truncation: negative lines";
+  truncate_after := Some lines
+
+let clear_fault_injection () = truncate_after := None
+
+let input_line ic =
+  match !truncate_after with
+  | None -> Stdlib.input_line ic
+  | Some 0 -> raise End_of_file
+  | Some k ->
+      truncate_after := Some (k - 1);
+      Stdlib.input_line ic
+
 let parse_header line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "universe"; n; "transactions"; count ] -> (

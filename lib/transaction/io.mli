@@ -31,3 +31,23 @@ val read_fimi : ?universe:int -> string -> Db.t
 (** @raise Failure on non-integer tokens or (when [universe] is given)
     items outside it.  An empty file yields an empty database over a
     1-item universe. *)
+
+(** {1 Deterministic fault injection (testing)}
+
+    The verification harness ([ppdm_check]) uses these to prove that a
+    truncated input surfaces as the documented [Failure] and never as a
+    silently partial database.  [inject_read_truncation ~lines] makes
+    every subsequent read in this process behave as if its input ended
+    after [lines] more lines (the header line counts); it stays armed (at
+    zero) until {!clear_fault_injection}.  Under truncation the header
+    format fails with ["fewer transactions than declared"] (or ["empty
+    input"]), while the FIMI format — which declares no count — yields a
+    shorter database with no error: the asymmetry that motivates the
+    header format for anything that crosses a network.  Test-only;
+    process-global; always disarm in a [finally]. *)
+
+val inject_read_truncation : lines:int -> unit
+(** @raise Invalid_argument if [lines < 0]. *)
+
+val clear_fault_injection : unit -> unit
+(** Disarm (idempotent). *)

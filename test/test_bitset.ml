@@ -47,6 +47,88 @@ let test_validation () =
     (Invalid_argument "Bitset.union: width mismatch") (fun () ->
       ignore (Bitset.union b other))
 
+let test_complement_boundaries () =
+  (* widths at, below, and above the 62-bit word boundary: the tail-word
+     mask must leave no phantom members *)
+  List.iter
+    (fun width ->
+      let full = Bitset.complement (Bitset.create ~width) in
+      Alcotest.(check int)
+        (Printf.sprintf "full at width %d" width)
+        width (Bitset.cardinal full);
+      Alcotest.(check bool)
+        (Printf.sprintf "empty again at width %d" width)
+        true
+        (Bitset.is_empty (Bitset.complement full)))
+    [ 1; 61; 62; 63; 124; 150 ]
+
+(* Set-algebra laws, as properties on the ppdm_check harness (failures
+   replay from the printed seed). *)
+let algebra_tests =
+  let open Ppdm_check in
+  let width = 150 in
+  let bit s = Bitset.of_itemset ~width s in
+  let set_g = Ppdm_check.Gen.itemset ~universe:width in
+  let pair2 = Ppdm_check.Gen.pair set_g set_g in
+  let triple = Ppdm_check.Gen.pair set_g pair2 in
+  let t name g p =
+    Alcotest.test_case name `Quick (fun () ->
+        Property.assert_ok (Property.check ~max_size:60 ~name g p))
+  in
+  [
+    t "complement is an involution" set_g (fun s ->
+        Bitset.equal (Bitset.complement (Bitset.complement (bit s))) (bit s));
+    t "complement cardinality" set_g (fun s ->
+        Bitset.cardinal (Bitset.complement (bit s))
+        = width - Itemset.cardinal s);
+    t "complement flips every membership" set_g (fun s ->
+        let c = Bitset.complement (bit s) in
+        let ok = ref true in
+        for i = 0 to width - 1 do
+          if Bitset.mem i c = Itemset.mem i s then ok := false
+        done;
+        !ok);
+    t "excluded middle" set_g (fun s ->
+        let b = bit s in
+        let c = Bitset.complement b in
+        Bitset.is_empty (Bitset.inter b c)
+        && Bitset.cardinal (Bitset.union b c) = width);
+    t "De Morgan" pair2 (fun (a, b) ->
+        let ba = bit a and bb = bit b in
+        Bitset.equal
+          (Bitset.complement (Bitset.union ba bb))
+          (Bitset.inter (Bitset.complement ba) (Bitset.complement bb))
+        && Bitset.equal
+             (Bitset.complement (Bitset.inter ba bb))
+             (Bitset.union (Bitset.complement ba) (Bitset.complement bb)));
+    t "diff is inter with complement" pair2 (fun (a, b) ->
+        Bitset.equal
+          (Bitset.diff (bit a) (bit b))
+          (Bitset.inter (bit a) (Bitset.complement (bit b))));
+    t "union and inter are commutative" pair2 (fun (a, b) ->
+        let ba = bit a and bb = bit b in
+        Bitset.equal (Bitset.union ba bb) (Bitset.union bb ba)
+        && Bitset.equal (Bitset.inter ba bb) (Bitset.inter bb ba));
+    t "union and inter are associative" triple (fun (a, (b, c)) ->
+        let ba = bit a and bb = bit b and bc = bit c in
+        Bitset.equal
+          (Bitset.union ba (Bitset.union bb bc))
+          (Bitset.union (Bitset.union ba bb) bc)
+        && Bitset.equal
+             (Bitset.inter ba (Bitset.inter bb bc))
+             (Bitset.inter (Bitset.inter ba bb) bc));
+    t "inter distributes over union" triple (fun (a, (b, c)) ->
+        let ba = bit a and bb = bit b and bc = bit c in
+        Bitset.equal
+          (Bitset.inter ba (Bitset.union bb bc))
+          (Bitset.union (Bitset.inter ba bb) (Bitset.inter ba bc)));
+    t "inclusion-exclusion" pair2 (fun (a, b) ->
+        let ba = bit a and bb = bit b in
+        Bitset.cardinal ba + Bitset.cardinal bb
+        = Bitset.cardinal (Bitset.union ba bb)
+          + Bitset.cardinal (Bitset.inter ba bb));
+  ]
+
 let gen_items = QCheck.Gen.(list_size (int_range 0 40) (int_range 0 149))
 
 let arb_items =
@@ -95,5 +177,8 @@ let suite =
     Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
     Alcotest.test_case "add and remove" `Quick test_add_remove;
     Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "complement word boundaries" `Quick
+      test_complement_boundaries;
   ]
+  @ algebra_tests
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,9 +1,13 @@
-(* Failure-injection tests: the parsers must reject arbitrary garbage with
-   their documented exceptions (Failure / Invalid_argument) — never leak
-   Not_found, End_of_file, out-of-bounds, or succeed with nonsense. *)
+(* Parser fuzzing, on the ppdm_check generators: every input either
+   parses or fails with a documented exception (Failure /
+   Invalid_argument) — never Not_found, End_of_file, out-of-bounds, or
+   success on nonsense.  The generators and the runner live in
+   ppdm_check, so any failure here prints a seed that replays it
+   (PPDM_CHECK_SEED). *)
 
 open Ppdm_data
 open Ppdm
+open Ppdm_check
 
 let with_content content f =
   let path = Filename.temp_file "ppdm_fuzz" ".txt" in
@@ -25,49 +29,23 @@ let survives reader content =
       | exception Invalid_argument _ -> true
       | exception _ -> false)
 
-let gen_garbage =
-  QCheck.Gen.(
-    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200))
+let prop name gen p =
+  Alcotest.test_case name `Quick (fun () ->
+      Property.assert_ok
+        (Property.check ~count:(Property.scaled ~base:300) ~name gen p))
 
-let gen_almost_db =
-  (* structured-ish garbage: headers with wrong numbers, partial bodies *)
-  QCheck.Gen.(
-    let* u = int_range (-2) 20 in
-    let* c = int_range (-2) 10 in
-    let* body = list_size (int_range 0 12) (list_size (int_range 0 5) (int_range (-3) 25)) in
-    let lines =
-      List.map (fun tx -> String.concat " " (List.map string_of_int tx)) body
-    in
-    return
-      (Printf.sprintf "universe %d transactions %d\n%s\n" u c
-         (String.concat "\n" lines)))
-
-let arb gen = QCheck.make ~print:String.escaped gen
-
-let qcheck_tests =
-  let open QCheck in
+let survival_tests =
   [
-    Test.make ~name:"Io.read_file survives random bytes" ~count:300
-      (arb gen_garbage) (survives Io.read_file);
-    Test.make ~name:"Io.read_file survives structured garbage" ~count:300
-      (arb gen_almost_db) (survives Io.read_file);
-    Test.make ~name:"Io.read_fimi survives random bytes" ~count:300
-      (arb gen_garbage) (survives (fun p -> Io.read_fimi p));
-    Test.make ~name:"Scheme_io.read_file survives random bytes" ~count:300
-      (arb gen_garbage) (survives Scheme_io.read_file);
-    Test.make ~name:"Scheme_io.read_file survives corrupted scheme files"
-      ~count:200
-      (arb
-         QCheck.Gen.(
-           let* rho = float_range (-1.) 2. in
-           let* m = int_range (-1) 6 in
-           let* probs = list_size (int_range 0 8) (float_range (-0.5) 1.5) in
-           return
-             (Printf.sprintf
-                "ppdm-scheme 1\nuniverse 10\nname fuzz\nsize %d rho %g keep %s\n"
-                m rho
-                (String.concat " " (List.map string_of_float probs)))))
-      (fun content ->
+    prop "Io.read_file survives random bytes" Gen.garbage_string
+      (survives Io.read_file);
+    prop "Io.read_file survives structured garbage" Gen.almost_db_text
+      (survives Io.read_file);
+    prop "Io.read_fimi survives random bytes" Gen.garbage_string
+      (survives (fun p -> Io.read_fimi p));
+    prop "Scheme_io.read_file survives random bytes" Gen.garbage_string
+      (survives Scheme_io.read_file);
+    prop "Scheme_io read+resolve survives corrupted scheme files"
+      Gen.corrupt_scheme_text (fun content ->
         with_content content (fun path ->
             (* reading may succeed (the file may be syntactically valid);
                resolving must then validate the operator *)
@@ -80,6 +58,57 @@ let qcheck_tests =
             | exception Failure _ -> true
             | exception Invalid_argument _ -> true
             | exception _ -> false));
+  ]
+
+(* Round-trips: whatever the generators produce must survive
+   write-then-read bit-for-bit, in each on-disk format. *)
+
+let db_gen = Gen.db ~max_universe:12 ~max_transactions:20 ()
+
+let roundtrip_tests =
+  let open Ppdm_prng in
+  let check_result name gen p =
+    Alcotest.test_case name `Quick (fun () ->
+        Property.assert_ok
+          (Property.check_result ~count:(Property.scaled ~base:100) ~name gen p))
+  in
+  [
+    check_result "Io write/read round-trip" db_gen (fun db ->
+        with_content "" (fun path ->
+            Io.write_file path db;
+            let back = Io.read_file path in
+            if
+              Db.universe back = Db.universe db
+              && Array.for_all2 Itemset.equal (Db.transactions back)
+                   (Db.transactions db)
+            then Ok ()
+            else Error "database changed across write/read"));
+    check_result "FIMI write/read round-trip" db_gen (fun db ->
+        with_content "" (fun path ->
+            Io.write_fimi path db;
+            let back = Io.read_fimi ~universe:(Db.universe db) path in
+            if
+              Array.for_all2 Itemset.equal (Db.transactions back)
+                (Db.transactions db)
+            then Ok ()
+            else Error "transactions changed across FIMI write/read"));
+    check_result "Scheme_io write/read round-trip"
+      (Gen.pair db_gen (Gen.int_range 0 1_000_000))
+      (fun (db, key) ->
+        let scheme =
+          Gen.generate
+            (Gen.scheme ~universe:(Db.universe db))
+            (Rng.create ~seed:key ())
+            ~size:4
+        in
+        let sizes = Scheme_io.sizes_of_db db in
+        if sizes = [] then Ok ()
+        else
+          with_content "" (fun path ->
+              Scheme_io.write_file path scheme ~sizes;
+              if Randomizer.same_parameters scheme (Scheme_io.read_file path) ~sizes
+              then Ok ()
+              else Error "scheme parameters changed across write/read"));
   ]
 
 let test_roundtrip_after_fuzz () =
@@ -97,4 +126,4 @@ let test_roundtrip_after_fuzz () =
 
 let suite =
   [ Alcotest.test_case "legitimate file still parses" `Quick test_roundtrip_after_fuzz ]
-  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
+  @ survival_tests @ roundtrip_tests

@@ -65,6 +65,29 @@ let test_support_reconstruction () =
   Alcotest.(check (option int)) "infrequent is None" None
     (Summarize.support_from_closed ~closed (Itemset.of_list [ 4 ]))
 
+let test_empty_frequent () =
+  Alcotest.(check int) "closed of []" 0 (List.length (Summarize.closed []));
+  Alcotest.(check int) "maximal of []" 0 (List.length (Summarize.maximal []));
+  Alcotest.(check (option int)) "support from empty closed" None
+    (Summarize.support_from_closed ~closed:[] (Itemset.of_list [ 0 ]))
+
+let test_singleton_collection () =
+  let frequent = [ (Itemset.of_list [ 2 ], 5) ] in
+  Alcotest.(check string) "closed is itself" (pp frequent)
+    (pp (Summarize.closed frequent));
+  Alcotest.(check string) "maximal is itself" (pp frequent)
+    (pp (Summarize.maximal frequent));
+  Alcotest.(check (option int)) "its own support" (Some 5)
+    (Summarize.support_from_closed ~closed:frequent (Itemset.of_list [ 2 ]))
+
+let test_empty_db_pipeline () =
+  (* an empty database flows through mine -> closed -> maximal cleanly *)
+  let frequent = Apriori.mine (mk 4 []) ~min_support:0.5 in
+  Alcotest.(check int) "nothing mined" 0 (List.length frequent);
+  Alcotest.(check int) "nothing closed" 0 (List.length (Summarize.closed frequent));
+  Alcotest.(check int) "nothing maximal" 0
+    (List.length (Summarize.maximal frequent))
+
 let qcheck_tests =
   let open QCheck in
   let gen_db =
@@ -97,6 +120,9 @@ let suite =
     Alcotest.test_case "toy closed and maximal" `Quick test_toy_closed_maximal;
     Alcotest.test_case "maximal subset of closed" `Quick test_maximal_subset_of_closed;
     Alcotest.test_case "support reconstruction" `Quick test_support_reconstruction;
+    Alcotest.test_case "empty frequent collection" `Quick test_empty_frequent;
+    Alcotest.test_case "singleton collection" `Quick test_singleton_collection;
+    Alcotest.test_case "empty database pipeline" `Quick test_empty_db_pipeline;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests
 
