@@ -14,6 +14,46 @@ open Ppdm_runtime
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* ------------------------------------- machine-readable measurements *)
+
+(* Every timed section also records Benchdata measurements; at exit they
+   are written as BENCH_<section>.json next to the human tables (or as
+   one aggregate file with --json FILE).  This is the bench history the
+   regression gate (`ppdm bench-diff`) runs on. *)
+let measurements : Ppdm_obs.Benchdata.measurement list ref = ref []
+
+let emit ~section ~name ?(jobs = 1) ~ns_per_op ~throughput () =
+  measurements :=
+    { Ppdm_obs.Benchdata.section; name; jobs; ns_per_op; throughput }
+    :: !measurements
+
+let write_measurements ~json_dir ~json_out =
+  let ms = List.rev !measurements in
+  if ms <> [] then begin
+    match json_out with
+    | Some path ->
+        Ppdm_obs.Benchdata.write_file path ms;
+        Printf.eprintf "bench: wrote %d measurement(s) to %s\n"
+          (List.length ms) path
+    | None ->
+        let sections =
+          List.sort_uniq compare
+            (List.map (fun m -> m.Ppdm_obs.Benchdata.section) ms)
+        in
+        List.iter
+          (fun section ->
+            let path =
+              Filename.concat json_dir
+                (Printf.sprintf "BENCH_%s.json" section)
+            in
+            Ppdm_obs.Benchdata.write_file path
+              (List.filter
+                 (fun m -> m.Ppdm_obs.Benchdata.section = section)
+                 ms);
+            Printf.eprintf "bench: wrote %s\n" path)
+          sections
+  end
+
 let fopt = function None -> "   --  " | Some v -> Printf.sprintf "%7.3f" v
 
 (* Proportional ASCII bar for figure-style series. *)
@@ -151,7 +191,7 @@ let e1 () =
 
 (* ------------------------------------------------- Bechamel micro-benches *)
 
-let run_benchmarks tests =
+let run_benchmarks ~section tests =
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
@@ -166,6 +206,8 @@ let run_benchmarks tests =
       let ns =
         match Analyze.OLS.estimates r with Some [ est ] -> est | _ -> Float.nan
       in
+      if Float.is_finite ns && ns > 0. then
+        emit ~section ~name ~ns_per_op:ns ~throughput:(1e9 /. ns) ();
       if ns > 1e6 then Printf.printf "  %-44s %10.3f ms/run\n" name (ns /. 1e6)
       else if ns > 1e3 then Printf.printf "  %-44s %10.3f us/run\n" name (ns /. 1e3)
       else Printf.printf "  %-44s %10.1f ns/run\n" name ns)
@@ -199,7 +241,7 @@ let b1 () =
         ])
       [ 5; 10 ]
   in
-  run_benchmarks (Bechamel.Test.make_grouped ~name:"randomize" tests)
+  run_benchmarks ~section:"b1" (Bechamel.Test.make_grouped ~name:"randomize" tests)
 
 let b2 () =
   header "B2  Miner runtime: Apriori vs FP-growth vs Eclat (Quest, 5k transactions)";
@@ -220,7 +262,7 @@ let b2 () =
         ])
       [ 0.05; 0.02; 0.01 ]
   in
-  run_benchmarks (Bechamel.Test.make_grouped ~name:"mine" tests)
+  run_benchmarks ~section:"b2" (Bechamel.Test.make_grouped ~name:"mine" tests)
 
 let a3 () =
   header "A3  Ablation: trie vs dense-bitset candidate counting (universe 150)";
@@ -248,7 +290,7 @@ let a3 () =
                dense_candidates));
     ]
   in
-  run_benchmarks (Bechamel.Test.make_grouped ~name:"counting" tests)
+  run_benchmarks ~section:"a3" (Bechamel.Test.make_grouped ~name:"counting" tests)
 
 let b3 () =
   header "B3  Estimator cost vs itemset size (m=8, 20k transactions)";
@@ -271,7 +313,7 @@ let b3 () =
                ignore (Estimator.estimate ~scheme ~data ~itemset))))
       [ 1; 2; 3; 4; 5; 6 ]
   in
-  run_benchmarks (Bechamel.Test.make_grouped ~name:"estimate" tests)
+  run_benchmarks ~section:"b3" (Bechamel.Test.make_grouped ~name:"estimate" tests)
 
 let b4 () =
   header "B4  Parallel runtime scaling: randomize + candidate counting (Quest 100k)";
@@ -313,12 +355,20 @@ let b4 () =
   (* Warm-up run so domain spawning and the quest cache are off the clock. *)
   ignore (work 1);
   let base_dt, base_tagged, base_counts = work 1 in
+  let txs = 100_000. in
+  let record jobs dt =
+    emit ~section:"b4" ~name:"randomize+count" ~jobs
+      ~ns_per_op:(dt *. 1e9 /. txs)
+      ~throughput:(txs /. Float.max 1e-9 dt) ()
+  in
+  record 1 base_dt;
   Printf.printf "%-6s %-10s %-9s %s\n" "jobs" "seconds" "speedup"
     "output identical to jobs=1";
   Printf.printf "%-6d %-10.3f %-9s %s\n" 1 base_dt "1.00x" "-";
   List.iter
     (fun jobs ->
       let dt, tagged, counts = work jobs in
+      record jobs dt;
       Printf.printf "%-6d %-10.3f %-9s %s\n" jobs dt
         (Printf.sprintf "%.2fx" (base_dt /. dt))
         (if same_tagged tagged base_tagged && same_counts counts base_counts
@@ -339,7 +389,10 @@ let b5 () =
   Fun.protect
     ~finally:(fun () ->
       Ppdm_obs.Metrics.set_enabled false;
-      print_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human))
+      (* Observability reports go to stderr, matching the CLI's --stats
+         contract: stdout stays reserved for the benchmark tables. *)
+      prerr_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human);
+      flush stderr)
     (fun () ->
       Pool.with_pool ~jobs:4 (fun pool ->
           let rng = Rng.create ~seed:7 () in
@@ -358,10 +411,15 @@ let b6 () =
   Printf.printf "%-28s %d\n" "checks passed" report.Ppdm_check.Selftest.passed;
   Printf.printf "%-28s %d\n" "checks failed" report.Ppdm_check.Selftest.failed;
   Printf.printf "%-28s %.2f\n" "wall seconds" dt;
-  Printf.printf "%-28s %.1f\n" "checks per second"
-    (float_of_int
-       (report.Ppdm_check.Selftest.passed + report.Ppdm_check.Selftest.failed)
-    /. Float.max 1e-9 dt)
+  let checks =
+    report.Ppdm_check.Selftest.passed + report.Ppdm_check.Selftest.failed
+  in
+  let per_sec = float_of_int checks /. Float.max 1e-9 dt in
+  Printf.printf "%-28s %.1f\n" "checks per second" per_sec;
+  if checks > 0 then
+    emit ~section:"b6" ~name:"selftest"
+      ~ns_per_op:(dt *. 1e9 /. float_of_int checks)
+      ~throughput:per_sec ()
 
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
@@ -375,19 +433,25 @@ let sections =
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
     ("b6", b6) ]
 
+(* Value of `--flag V` anywhere in argv, or None. *)
+let argv_opt flag =
+  let found = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = flag && i + 1 < Array.length Sys.argv then
+        found := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !found
+
 let () =
   let tables_only = Array.exists (( = ) "--tables-only") Sys.argv in
   (* --only t1,f4,... runs just the named sections (for appending to a
      partial log or quick iteration) *)
-  let only =
-    let found = ref None in
-    Array.iteri
-      (fun i arg ->
-        if arg = "--only" && i + 1 < Array.length Sys.argv then
-          found := Some (String.split_on_char ',' Sys.argv.(i + 1)))
-      Sys.argv;
-    !found
-  in
+  let only = Option.map (String.split_on_char ',') (argv_opt "--only") in
+  (* --json FILE writes one aggregate measurement file (CI smoke);
+     --json-dir DIR picks where the per-section BENCH_<s>.json land. *)
+  let json_out = argv_opt "--json" in
+  let json_dir = Option.value (argv_opt "--json-dir") ~default:"." in
   (match only with
   | Some names ->
       List.iter
@@ -399,4 +463,5 @@ let () =
   | None ->
       List.iter timed [ t1; t2; t3; f1; f2; f3; f4; f5; a1; a2; a4; e1 ];
       if not tables_only then List.iter timed [ b1; b2; a3; b3; b4; b5; b6 ]);
+  write_measurements ~json_dir ~json_out;
   print_newline ()

@@ -108,7 +108,7 @@ let operator_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (all commands are deterministic).")
 
-(* ----------------------------------------------------------------- stats *)
+(* --------------------------------------------------------- stats / trace *)
 
 let stats_term =
   Arg.(
@@ -123,20 +123,41 @@ let stats_term =
            every output file stay byte-identical to a run without \
            $(b,--stats).")
 
-(* Enable metrics around [f]; print the report to stderr afterwards (also
-   on failure, so a crashed run still shows where time went).  Stdout is
-   untouched: results must be byte-identical with and without --stats. *)
-let with_stats fmt f =
-  match fmt with
-  | None -> f ()
-  | Some fmt ->
-      Ppdm_obs.Metrics.set_enabled true;
-      Fun.protect
-        ~finally:(fun () ->
-          Ppdm_obs.Metrics.set_enabled false;
-          prerr_string (Ppdm_obs.Report.to_string fmt);
-          flush stderr)
-        f
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~docv:"FILE"
+        ~doc:
+          "Record an event timeline (spans, pool tasks, miner levels) and \
+           write it to FILE on exit: folded stacks for flamegraph tools \
+           when FILE ends in .folded, Chrome trace-event JSON (loadable \
+           in chrome://tracing or Perfetto) otherwise.  Same contract as \
+           $(b,--stats): the report goes to the file, stdout stays \
+           byte-identical to a run without $(b,--trace).")
+
+(* Enable the requested observability layers around [f]; emit the reports
+   afterwards — also on failure, so a crashed run still shows where time
+   went (and the trace shows where it died).  Stdout is untouched:
+   results must be byte-identical with and without --stats/--trace. *)
+let with_obs stats trace f =
+  if stats = None && trace = None then f ()
+  else begin
+    if trace <> None then Ppdm_obs.Trace.set_enabled true;
+    if stats <> None then Ppdm_obs.Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Ppdm_obs.Metrics.set_enabled false;
+        Ppdm_obs.Trace.set_enabled false;
+        Option.iter
+          (fun fmt ->
+            prerr_string (Ppdm_obs.Report.to_string fmt);
+            flush stderr)
+          stats;
+        Option.iter Ppdm_obs.Trace.write_file trace)
+      f
+  end
 
 let jobs_term =
   Arg.(
@@ -160,7 +181,8 @@ let gen_cmd =
   let count = Arg.(value & opt int 10000 & info [ "count" ] ~doc:"Number of transactions.") in
   let size = Arg.(value & opt int 5 & info [ "size" ] ~doc:"fixed: transaction size; quest/zipf: average size.") in
   let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file.") in
-  let run kind universe count size out seed =
+  let run kind universe count size out seed stats trace =
+    with_obs stats trace @@ fun () ->
     let rng = Rng.create ~seed () in
     let db =
       match kind with
@@ -183,7 +205,9 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic transaction database.")
-    Term.(const run $ kind $ universe $ count $ size $ out $ seed_term)
+    Term.(
+      const run $ kind $ universe $ count $ size $ out $ seed_term
+      $ stats_term $ trace_term)
 
 (* ----------------------------------------------------------- randomize *)
 
@@ -195,8 +219,8 @@ let randomize_cmd =
     Arg.(value & opt (some string) None
          & info [ "scheme-out" ] ~doc:"Also write the operator parameters (for the server).")
   in
-  let run input out scheme_out spec seed jobs stats =
-    with_stats stats @@ fun () ->
+  let run input out scheme_out spec seed jobs stats trace =
+    with_obs stats trace @@ fun () ->
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
@@ -215,14 +239,17 @@ let randomize_cmd =
   in
   Cmd.v
     (Cmd.info "randomize" ~doc:"Apply a randomization operator to a database (client side).")
-    Term.(const run $ in_term $ out $ scheme_out $ operator_term $ seed_term $ jobs_term $ stats_term)
+    Term.(
+      const run $ in_term $ out $ scheme_out $ operator_term $ seed_term
+      $ jobs_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- analyze *)
 
 let analyze_cmd =
   let size = Arg.(value & opt int 5 & info [ "size" ] ~doc:"Transaction size to analyze.") in
   let universe = Arg.(value & opt int 1000 & info [ "universe" ] ~doc:"Universe size.") in
-  let run spec universe size =
+  let run spec universe size stats trace =
+    with_obs stats trace @@ fun () ->
     let scheme = scheme_of_spec ~universe spec in
     let r = Randomizer.resolve scheme ~size in
     Printf.printf "operator: %s at transaction size %d\n" (Randomizer.name scheme) size;
@@ -253,7 +280,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Print the privacy certificate and utility profile of an operator.")
-    Term.(const run $ operator_term $ universe $ size)
+    Term.(const run $ operator_term $ universe $ size $ stats_term $ trace_term)
 
 (* ----------------------------------------------------------------- mine *)
 
@@ -267,8 +294,8 @@ let mine_cmd =
   let min_confidence =
     Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
   in
-  let run input min_support max_size min_confidence jobs stats =
-    with_stats stats @@ fun () ->
+  let run input min_support max_size min_confidence jobs stats trace =
+    with_obs stats trace @@ fun () ->
     let db = Io.read_file input in
     let frequent =
       Pool.with_pool ~jobs (fun pool ->
@@ -291,13 +318,13 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
     Term.(
       const run $ in_term $ minsup_term $ maxsize_term $ min_confidence
-      $ jobs_term $ stats_term)
+      $ jobs_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- private *)
 
 let private_cmd =
-  let run input spec min_support max_size seed jobs stats =
-    with_stats stats @@ fun () ->
+  let run input spec min_support max_size seed jobs stats trace =
+    with_obs stats trace @@ fun () ->
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let rng = Rng.create ~seed () in
@@ -324,7 +351,7 @@ let private_cmd =
        ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
     Term.(
       const run $ in_term $ operator_term $ minsup_term $ maxsize_term
-      $ seed_term $ jobs_term $ stats_term)
+      $ seed_term $ jobs_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- recover *)
 
@@ -337,8 +364,8 @@ let recover_cmd =
          & info [ "scheme" ] ~doc:"Operator parameter file written by randomize --scheme-out \
                                    (overrides --operator).")
   in
-  let run input spec scheme_file items stats =
-    with_stats stats @@ fun () ->
+  let run input spec scheme_file items stats trace =
+    with_obs stats trace @@ fun () ->
     let universe, data = read_tagged input in
     let scheme =
       match scheme_file with
@@ -353,7 +380,9 @@ let recover_cmd =
   in
   Cmd.v
     (Cmd.info "recover" ~doc:"Estimate an itemset's support from a tagged randomized file.")
-    Term.(const run $ in_term $ operator_term $ scheme_file $ itemset_term $ stats_term)
+    Term.(
+      const run $ in_term $ operator_term $ scheme_file $ itemset_term
+      $ stats_term $ trace_term)
 
 (* ---------------------------------------------------------------- stats *)
 
@@ -361,7 +390,8 @@ let stats_cmd =
   let fimi =
     Arg.(value & flag & info [ "fimi" ] ~doc:"Read the input in FIMI format.")
   in
-  let run input fimi =
+  let run input fimi stats trace =
+    with_obs stats trace @@ fun () ->
     let db = if fimi then Io.read_fimi input else Io.read_file input in
     Printf.printf "transactions:   %d\n" (Db.length db);
     Printf.printf "universe:       %d items\n" (Db.universe db);
@@ -385,7 +415,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Summarize a transaction database file.")
-    Term.(const run $ in_term $ fimi)
+    Term.(const run $ in_term $ fimi $ stats_term $ trace_term)
 
 (* ----------------------------------------------------------- experiment *)
 
@@ -398,7 +428,8 @@ let experiment_cmd =
               ("a4", `A4); ("e1", `E1) ])) None
       & info [] ~docv:"ID" ~doc:"Experiment id: t1, t2, f1, f5, a1, a4, or e1.")
   in
-  let run which =
+  let run which stats trace =
+    with_obs stats trace @@ fun () ->
     match which with
     | `T1 ->
         List.iter
@@ -445,7 +476,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Recompute one experiment of the reconstructed evaluation (raw rows).")
-    Term.(const run $ which)
+    Term.(const run $ which $ stats_term $ trace_term)
 
 (* ------------------------------------------------------------- selftest *)
 
@@ -460,11 +491,18 @@ let selftest_cmd =
              Defaults to $(b,PPDM_CHECK_COUNT) or 100; 25 is a sub-second \
              smoke, 10000 a deep fuzz.")
   in
-  let run count seed =
-    let report = Ppdm_check.Selftest.run ?count ~seed ~log:print_endline () in
-    Printf.printf "selftest: %d passed, %d failed\n" report.Ppdm_check.Selftest.passed
-      report.Ppdm_check.Selftest.failed;
-    if not (Ppdm_check.Selftest.ok report) then exit 1
+  let run count seed stats trace =
+    (* exit would skip with_obs's finally: compute the verdict inside the
+       instrumented region, report, then exit — a failing selftest still
+       gets its stats and trace written. *)
+    let ok =
+      with_obs stats trace @@ fun () ->
+      let report = Ppdm_check.Selftest.run ?count ~seed ~log:print_endline () in
+      Printf.printf "selftest: %d passed, %d failed\n"
+        report.Ppdm_check.Selftest.passed report.Ppdm_check.Selftest.failed;
+      Ppdm_check.Selftest.ok report
+    in
+    if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "selftest"
@@ -472,12 +510,81 @@ let selftest_cmd =
          "Run the in-process verification suite (property, differential, \
           statistical, and fault-injection checks) and exit non-zero on any \
           failure.  Failures print a seed that replays them.")
-    Term.(const run $ count $ seed_term)
+    Term.(const run $ count $ seed_term $ stats_term $ trace_term)
+
+(* ------------------------------------------------------------ bench-diff *)
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_*.json file.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_*.json file to gate.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.5
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed slowdown as a fraction: a measurement regresses when \
+             its ns/op exceeds the baseline's by more than FRAC (0.5 = \
+             fails beyond 1.5x).  Loose values gate on gross regressions \
+             only, which is what a cross-machine CI baseline can support.")
+  in
+  let load path =
+    match Ppdm_obs.Benchdata.read_file path with
+    | Ok ms -> ms
+    | Error e ->
+        Printf.eprintf "bench-diff: %s: %s\n" path e;
+        exit 2
+  in
+  let run baseline_path current_path tolerance =
+    if tolerance < 0. then begin
+      prerr_endline "bench-diff: negative tolerance";
+      exit 2
+    end;
+    let baseline = load baseline_path and current = load current_path in
+    let d = Ppdm_obs.Benchdata.diff ~tolerance ~baseline ~current in
+    Printf.printf "bench-diff: %d measurement(s) compared at tolerance %.2f\n"
+      d.Ppdm_obs.Benchdata.compared tolerance;
+    List.iter
+      (fun (m : Ppdm_obs.Benchdata.measurement) ->
+        Printf.printf "  missing from current: %s\n" (Ppdm_obs.Benchdata.key m))
+      d.Ppdm_obs.Benchdata.missing;
+    List.iter
+      (fun (m : Ppdm_obs.Benchdata.measurement) ->
+        Printf.printf "  new in current:       %s\n" (Ppdm_obs.Benchdata.key m))
+      d.Ppdm_obs.Benchdata.added;
+    List.iter
+      (fun (r : Ppdm_obs.Benchdata.regression) ->
+        Printf.printf "  REGRESSION %-40s %.0f -> %.0f ns/op (%.2fx)\n"
+          (Ppdm_obs.Benchdata.key r.Ppdm_obs.Benchdata.baseline)
+          r.Ppdm_obs.Benchdata.baseline.Ppdm_obs.Benchdata.ns_per_op
+          r.Ppdm_obs.Benchdata.current.Ppdm_obs.Benchdata.ns_per_op
+          r.Ppdm_obs.Benchdata.ratio)
+      d.Ppdm_obs.Benchdata.regressions;
+    if d.Ppdm_obs.Benchdata.regressions <> [] then exit 1;
+    print_endline "bench-diff: ok"
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two machine-readable benchmark files (written by the \
+          bench harness as BENCH_<section>.json) and exit non-zero when \
+          any shared measurement regresses beyond the tolerance.")
+    Term.(const run $ baseline $ current $ tolerance)
 
 let main =
   Cmd.group
     (Cmd.info "ppdm" ~version:"1.0.0"
        ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
-    [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd; stats_cmd; experiment_cmd; selftest_cmd ]
+    [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd;
+      stats_cmd; experiment_cmd; selftest_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

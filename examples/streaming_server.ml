@@ -11,9 +11,13 @@
    server) and the merged statistic is bit-identical to the single-server
    fold.
 
-   The run is instrumented with ppdm_obs: ingest is wrapped in a span and
-   the metrics report lands on stderr, so the example doubles as a demo
-   of the observability layer.
+   The run is instrumented with ppdm_obs: ingest is wrapped in a span,
+   the metrics report lands on stderr, and tracing runs in
+   snapshot-and-rotate mode — at every checkpoint the timeline collected
+   since the previous one is written to a fresh trace file and the rings
+   are cleared, the way a long-lived server keeps traces bounded while
+   never losing the current window.  So the example doubles as a demo of
+   the observability layer.
 
    Run with:  dune exec examples/streaming_server.exe *)
 
@@ -23,8 +27,26 @@ open Ppdm_datagen
 open Ppdm
 open Ppdm_runtime
 
+(* Snapshot-and-rotate: dump the timeline gathered since the last call
+   into the next numbered trace file and clear the rings.  A server calls
+   this on a timer; here the stream checkpoints stand in for the timer. *)
+let rotate_trace =
+  let generation = ref 0 in
+  let dir =
+    let d = Filename.concat (Filename.get_temp_dir_name ()) "ppdm_traces" in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  fun () ->
+    incr generation;
+    let path = Filename.concat dir (Printf.sprintf "ingest-%03d.json" !generation) in
+    Ppdm_obs.Trace.write_file path;
+    Ppdm_obs.Trace.reset ();
+    Printf.eprintf "trace rotated: %s\n" path
+
 let () =
   Ppdm_obs.Metrics.set_enabled true;
+  Ppdm_obs.Trace.set_enabled true;
   let universe = 300 and size = 6 and count = 30_000 in
   let rng = Rng.create ~seed:123 () in
 
@@ -51,7 +73,8 @@ let () =
       Printf.sprintf "%s %.4f±%.4f" (Itemset.to_string (Stream.itemset acc))
         e.Estimator.support e.Estimator.sigma
     in
-    Printf.printf "after %6d reports: %s | %s\n" n (report acc_hot) (report acc_cold)
+    Printf.printf "after %6d reports: %s | %s\n" n (report acc_hot) (report acc_cold);
+    rotate_trace ()
   in
   Ppdm_obs.Span.with_ ~name:"ingest" (fun () ->
       Array.iteri
@@ -76,5 +99,7 @@ let () =
     (merged.Estimator.support = whole.Estimator.support)
     (Stream.observed fanned);
 
-  (* the metrics report goes to stderr, keeping stdout clean *)
+  (* final rotation captures the fan-out's pool timeline, then the
+     metrics report goes to stderr, keeping stdout clean *)
+  rotate_trace ();
   prerr_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human)

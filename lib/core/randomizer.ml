@@ -61,8 +61,12 @@ let same_parameters a b ~sizes =
          | exception Invalid_argument _ -> false)
        sizes
 
+(* A span (hence a timeline slice): warming runs serially before the
+   parallel apply batches, and whether it dominates startup is exactly
+   the kind of question the trace exists to answer. *)
 let warm_cache t ~sizes =
-  List.iter (fun size -> ignore (resolved_cached t size)) sizes
+  Ppdm_obs.Span.with_ ~name:"randomizer.warm" (fun () ->
+      List.iter (fun size -> ignore (resolved_cached t size)) sizes)
 
 let resolve t ~size =
   let r, _ = resolved_cached t size in
@@ -155,11 +159,13 @@ let apply t rng tx =
 let apply_db t rng db =
   if Db.universe db <> t.universe then
     invalid_arg "Randomizer.apply_db: universe mismatch";
-  Db.map (apply t rng) db
+  Ppdm_obs.Span.with_ ~name:"randomizer.apply_db" (fun () ->
+      Db.map (apply t rng) db)
 
 let apply_db_tagged t rng db =
   if Db.universe db <> t.universe then
     invalid_arg "Randomizer.apply_db_tagged: universe mismatch";
-  Array.map
-    (fun tx -> (Itemset.cardinal tx, apply t rng tx))
-    (Db.transactions db)
+  Ppdm_obs.Span.with_ ~name:"randomizer.apply_db" (fun () ->
+      Array.map
+        (fun tx -> (Itemset.cardinal tx, apply t rng tx))
+        (Db.transactions db))

@@ -63,10 +63,11 @@ let merge_into t ~from =
 let merge = function
   | [] -> invalid_arg "Stream.merge: empty list"
   | first :: rest ->
-      let acc = create ~scheme:first.scheme ~itemset:first.itemset in
-      merge_into acc ~from:first;
-      List.iter (fun t -> merge_into acc ~from:t) rest;
-      acc
+      Ppdm_obs.Span.with_ ~name:"stream.merge" (fun () ->
+          let acc = create ~scheme:first.scheme ~itemset:first.itemset in
+          merge_into acc ~from:first;
+          List.iter (fun t -> merge_into acc ~from:t) rest;
+          acc)
 
 let estimate t =
   if t.observed = 0 then invalid_arg "Stream.estimate: no observations yet";

@@ -79,6 +79,14 @@ let record_level ~size ~candidates ~frequent =
       (List.length frequent)
   end
 
+(* Per-level phase span (and, through it, a timeline slice): which level
+   a miner stalls on is invisible in the aggregate span totals.  The name
+   is computed, so the disabled path stays one flag check. *)
+let with_level_span ~size f =
+  if Ppdm_obs.Metrics.any_enabled () then
+    Ppdm_obs.Span.with_ ~name:(Printf.sprintf "apriori.level%d" size) f
+  else f ()
+
 let mine ?max_size db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Apriori.mine: min_support out of (0,1]";
@@ -86,23 +94,29 @@ let mine ?max_size db ~min_support =
       let n = Db.length db in
       let threshold = absolute_threshold ~n ~min_support in
       let cap = Option.value max_size ~default:max_int in
-      let level1 = level1 db ~threshold in
+      let level1 = with_level_span ~size:1 (fun () -> level1 db ~threshold) in
       record_level ~size:1 ~candidates:level1 ~frequent:level1;
       let rec levels acc current size =
         if size > cap || current = [] then acc
         else begin
-          let candidates =
-            candidates_from ~frequent:(List.map fst current) ~size
+          let next =
+            with_level_span ~size (fun () ->
+                let candidates =
+                  candidates_from ~frequent:(List.map fst current) ~size
+                in
+                if candidates = [] then []
+                else begin
+                  let counted = Count.support_counts db candidates in
+                  let next =
+                    List.filter (fun (_, c) -> c >= threshold) counted
+                  in
+                  record_level ~size ~candidates ~frequent:next;
+                  next
+                end)
           in
-          if candidates = [] then acc
-          else begin
-            let counted = Count.support_counts db candidates in
-            let next = List.filter (fun (_, c) -> c >= threshold) counted in
-            record_level ~size ~candidates ~frequent:next;
-            (* rev_append, not (@): the final sort fixes the order, and
-               appending per level is quadratic in the output size. *)
-            levels (List.rev_append next acc) next (size + 1)
-          end
+          (* rev_append, not (@): the final sort fixes the order, and
+             appending per level is quadratic in the output size. *)
+          levels (List.rev_append next acc) next (size + 1)
         end
       in
       let result = if cap < 1 then [] else levels level1 level1 2 in

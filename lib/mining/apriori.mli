@@ -37,3 +37,9 @@ val record_level : size:int -> candidates:'a list -> frequent:'b list -> unit
     layer ([apriori.level<n>.candidates] / [.frequent]); a no-op when
     metrics are disabled.  Exposed so external level-wise drivers emit the
     same metrics as {!mine}. *)
+
+val with_level_span : size:int -> (unit -> 'a) -> 'a
+(** Run [f] under the per-level phase span [apriori.level<size>] (which
+    also emits a timeline slice when tracing is on); [f ()] after one
+    flag check when all instrumentation is off.  Exposed so external
+    level-wise drivers produce the same per-phase timeline as {!mine}. *)

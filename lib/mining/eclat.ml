@@ -26,6 +26,7 @@ type atoms = {
 let atoms db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Eclat.atoms: min_support out of (0,1]";
+  Ppdm_obs.Span.with_ ~name:"eclat.atoms" @@ fun () ->
   let threshold = Threshold.absolute ~n:(Db.length db) ~min_support in
   (* Build tid-sets for frequent items (tids are ascending by construction
      of the scan). *)
@@ -75,6 +76,10 @@ let mine_atoms ?max_size t ~lo ~hi =
   let cap = Option.value max_size ~default:max_int in
   if cap < 1 then []
   else begin
+    (* A span per atom range: the parallel driver calls this once per
+       shard, so each prefix-class batch is a slice on its worker's
+       timeline lane. *)
+    Ppdm_obs.Span.with_ ~name:"eclat.extend" @@ fun () ->
     let results = ref [] in
     (* Each root atom owns its prefix class; extensions come from every
        atom after it, so classes rooted in disjoint ranges partition the

@@ -1,0 +1,113 @@
+type measurement = {
+  section : string;
+  name : string;
+  jobs : int;
+  ns_per_op : float;
+  throughput : float;
+}
+
+let key m = Printf.sprintf "%s/%s/j%d" m.section m.name m.jobs
+
+let to_json ms =
+  Json.List
+    (List.map
+       (fun m ->
+         Json.Obj
+           [
+             ("section", Json.String m.section);
+             ("name", Json.String m.name);
+             ("jobs", Json.Int m.jobs);
+             ("ns_per_op", Json.Float m.ns_per_op);
+             ("throughput", Json.Float m.throughput);
+           ])
+       ms)
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let measurement_of_json j =
+  match
+    ( Json.member "section" j,
+      Json.member "name" j,
+      Json.member "jobs" j,
+      Option.bind (Json.member "ns_per_op" j) number,
+      Option.bind (Json.member "throughput" j) number )
+  with
+  | ( Some (Json.String section),
+      Some (Json.String name),
+      Some (Json.Int jobs),
+      Some ns_per_op,
+      Some throughput ) ->
+      Ok { section; name; jobs; ns_per_op; throughput }
+  | _ -> Error ("not a bench measurement: " ^ Json.to_string j)
+
+let of_json = function
+  | Json.List items ->
+      List.fold_left
+        (fun acc item ->
+          match (acc, measurement_of_json item) with
+          | Ok ms, Ok m -> Ok (m :: ms)
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e)
+        (Ok []) items
+      |> Result.map List.rev
+  | j -> Error ("expected a JSON array of measurements, got " ^ Json.to_string j)
+
+let write_file path ms =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ms));
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Result.bind (Json.parse content) of_json
+
+type regression = { baseline : measurement; current : measurement; ratio : float }
+
+type diff = {
+  regressions : regression list;
+  compared : int;
+  missing : measurement list;
+  added : measurement list;
+}
+
+let diff ~tolerance ~baseline ~current =
+  if tolerance < 0. then invalid_arg "Benchdata.diff: negative tolerance";
+  let index ms =
+    let tbl = Hashtbl.create (List.length ms) in
+    List.iter (fun m -> Hashtbl.replace tbl (key m) m) ms;
+    tbl
+  in
+  let base_tbl = index baseline and cur_tbl = index current in
+  let regressions = ref [] and compared = ref 0 in
+  (* iterate the lists, not the tables, so report order is input order *)
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt cur_tbl (key b) with
+      | None -> ()
+      | Some c ->
+          incr compared;
+          (* a zero/garbage baseline cannot gate anything meaningfully *)
+          if b.ns_per_op > 0. then begin
+            let ratio = c.ns_per_op /. b.ns_per_op in
+            if ratio > 1. +. tolerance then
+              regressions := { baseline = b; current = c; ratio } :: !regressions
+          end)
+    baseline;
+  {
+    regressions = List.rev !regressions;
+    compared = !compared;
+    missing =
+      List.filter (fun b -> not (Hashtbl.mem cur_tbl (key b))) baseline;
+    added = List.filter (fun c -> not (Hashtbl.mem base_tbl (key c))) current;
+  }

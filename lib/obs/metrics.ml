@@ -159,9 +159,25 @@ let quantile h q =
 
 (* ----------------------------------------------------- global registry *)
 
-let enabled_flag = Atomic.make false
-let set_enabled b = Atomic.set enabled_flag b
-let enabled () = Atomic.get enabled_flag
+(* One atomic word carries the metrics bit and the trace bit (owned by
+   [Trace], plumbed through here so the word stays single).  Instrumented
+   code that serves both layers — [Span.with_], the pool's batch wrapper —
+   can then keep its disabled fast path at exactly one atomic load via
+   [any_enabled]. *)
+let metrics_bit = 1
+let trace_bit = 2
+let flags = Atomic.make 0
+
+let rec set_bit bit b =
+  let cur = Atomic.get flags in
+  let next = if b then cur lor bit else cur land lnot bit in
+  if not (Atomic.compare_and_set flags cur next) then set_bit bit b
+
+let set_enabled b = set_bit metrics_bit b
+let enabled () = Atomic.get flags land metrics_bit <> 0
+let set_trace_enabled b = set_bit trace_bit b
+let trace_enabled () = Atomic.get flags land trace_bit <> 0
+let any_enabled () = Atomic.get flags <> 0
 
 (* Shards register once per domain; the list order depends on scheduling,
    which is why Sink_impl.merge must be (and is) order-independent. *)
@@ -189,6 +205,11 @@ let incr name = if enabled () then Sink_impl.add (shard ()) name 1
 let gauge name v = if enabled () then Sink_impl.gauge (shard ()) name v
 let observe name v = if enabled () then Sink_impl.observe (shard ()) name v
 
+(* Wall clock, not a monotonic one: the stdlib exposes nothing monotonic
+   without an external package.  NTP can therefore step it backwards
+   between two reads; every duration computed from [now_ns] pairs must
+   clamp at 0 ([observe] already does, [Span.with_] and the trace pairing
+   do so explicitly). *)
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let time name f =

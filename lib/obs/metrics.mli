@@ -49,7 +49,15 @@ val observe : string -> int -> unit
 
 val now_ns : unit -> int
 (** Wall-clock nanoseconds (arbitrary epoch).  Always live, so callers can
-    take a timestamp before checking {!enabled}. *)
+    take a timestamp before checking {!enabled}.
+
+    This is [Unix.gettimeofday], a {e wall} clock, because the stdlib
+    offers no monotonic clock without an external package.  NTP may step
+    it backwards between two reads, so a difference of two [now_ns]
+    values can be negative: every duration derived from it is clamped at
+    0 ({!observe} clamps, and so do [Span.with_] and the trace begin/end
+    pairing).  A clamped duration under-reports; it never corrupts
+    histograms or timelines. *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and observes its wall-clock duration in
@@ -80,6 +88,19 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Merge every registered sink (see the module preamble for when this is
     safe).  Returns empty lists when nothing was recorded. *)
+
+(** {2 Flag plumbing for the trace layer}
+
+    The enabled word is shared with [Trace] so code serving both layers
+    can test "anything on?" with one atomic load.  Call these through
+    [Trace.set_enabled]/[Trace.enabled]; they live here only because the
+    word does. *)
+
+val set_trace_enabled : bool -> unit
+val trace_enabled : unit -> bool
+
+val any_enabled : unit -> bool
+(** True iff metrics or tracing (or both) are enabled — one atomic load. *)
 
 (** {2 Explicit sinks}
 

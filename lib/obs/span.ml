@@ -26,27 +26,38 @@ let state_key =
       Mutex.unlock registry_lock;
       st)
 
+(* One [Metrics.any_enabled] load guards the whole disabled path; only
+   past it do we learn which of the two layers (aggregating span tree,
+   event timeline) is actually on. *)
 let with_ ~name f =
-  if not (Metrics.enabled ()) then f ()
+  if not (Metrics.any_enabled ()) then f ()
   else begin
-    let st = Domain.DLS.get state_key in
-    let parent = List.hd st.stack in
-    let child =
-      match Hashtbl.find_opt parent.n_children name with
-      | Some c -> c
-      | None ->
-          let c = make_node name in
-          Hashtbl.replace parent.n_children name c;
-          c
-    in
-    child.n_calls <- child.n_calls + 1;
-    st.stack <- child :: st.stack;
-    let t0 = Metrics.now_ns () in
-    Fun.protect
-      ~finally:(fun () ->
-        child.n_total <- child.n_total + (Metrics.now_ns () - t0);
-        st.stack <- List.tl st.stack)
-      f
+    let record = Metrics.enabled () and traced = Trace.enabled () in
+    if traced then Trace.begin_ ~name ~cat:"span";
+    if not record then
+      Fun.protect ~finally:(fun () -> if traced then Trace.end_ ~name ~cat:"span") f
+    else begin
+      let st = Domain.DLS.get state_key in
+      let parent = List.hd st.stack in
+      let child =
+        match Hashtbl.find_opt parent.n_children name with
+        | Some c -> c
+        | None ->
+            let c = make_node name in
+            Hashtbl.replace parent.n_children name c;
+            c
+      in
+      child.n_calls <- child.n_calls + 1;
+      st.stack <- child :: st.stack;
+      let t0 = Metrics.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          (* clamp: the wall clock can step backwards (Metrics.now_ns) *)
+          child.n_total <- child.n_total + max 0 (Metrics.now_ns () - t0);
+          st.stack <- List.tl st.stack;
+          if traced then Trace.end_ ~name ~cat:"span")
+        f
+    end
   end
 
 (* Merge a list of same-name nodes into one snapshot; children are merged

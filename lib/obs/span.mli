@@ -9,8 +9,14 @@
     Sharding and merging follow {!Metrics}: each domain owns its tree,
     {!tree} merges them by name with commutative sums and sorts children
     by name, so the report is independent of domain scheduling.  When
-    metrics are disabled ({!Metrics.enabled}[ = false]), [with_] is the
-    bare call [f ()] after one flag check. *)
+    both metrics and tracing are disabled, [with_] is the bare call
+    [f ()] after one flag check ({!Metrics.any_enabled} — the two flags
+    share an atomic word).
+
+    Spans also feed the event timeline: when {!Trace.enabled}, every
+    [with_] emits a begin/end event pair (category ["span"]), paired even
+    across exceptions.  Durations clamp at 0 — {!Metrics.now_ns} is a
+    wall clock and can step backwards under NTP. *)
 
 type t = {
   name : string;

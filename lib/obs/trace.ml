@@ -1,0 +1,275 @@
+type phase = Begin | End | Instant
+
+type event = {
+  phase : phase;
+  name : string;
+  cat : string;
+  ts_ns : int;
+  domain : int;
+  seq : int;
+}
+
+(* A fixed-capacity ring per domain: [start] indexes the oldest event,
+   [len] how many are live.  Overwriting the oldest slot on overflow keeps
+   recording O(1) and allocation-bounded no matter how long tracing stays
+   on; the drop is counted, never silent. *)
+type ring = {
+  r_domain : int;
+  mutable buf : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+  mutable seq : int;
+}
+
+let dummy_event =
+  { phase = Instant; name = ""; cat = ""; ts_ns = 0; domain = 0; seq = 0 }
+
+let default_capacity = 1 lsl 16
+let capacity = Atomic.make default_capacity
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Atomic.set capacity n
+
+let set_enabled = Metrics.set_trace_enabled
+let enabled = Metrics.trace_enabled
+
+let registry_lock = Mutex.create ()
+let registry : ring list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_domain = (Domain.self () :> int);
+          buf = Array.make (Atomic.get capacity) dummy_event;
+          start = 0;
+          len = 0;
+          dropped = 0;
+          seq = 0;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := r :: !registry;
+      Mutex.unlock registry_lock;
+      r)
+
+let rings () =
+  Mutex.lock registry_lock;
+  let rs = !registry in
+  Mutex.unlock registry_lock;
+  rs
+
+let reset () =
+  (* Also re-reads the capacity, so [set_capacity] between runs takes
+     effect on rings that already exist. *)
+  let cap = Atomic.get capacity in
+  List.iter
+    (fun r ->
+      if Array.length r.buf <> cap then r.buf <- Array.make cap dummy_event
+      else Array.fill r.buf 0 cap dummy_event;
+      r.start <- 0;
+      r.len <- 0;
+      r.dropped <- 0;
+      r.seq <- 0)
+    (rings ())
+
+let dropped () = List.fold_left (fun acc r -> acc + r.dropped) 0 (rings ())
+
+let record phase ~name ~cat =
+  if enabled () then begin
+    let r = Domain.DLS.get ring_key in
+    let ev =
+      { phase; name; cat; ts_ns = Metrics.now_ns (); domain = r.r_domain;
+        seq = r.seq }
+    in
+    r.seq <- r.seq + 1;
+    let cap = Array.length r.buf in
+    if r.len < cap then begin
+      r.buf.((r.start + r.len) mod cap) <- ev;
+      r.len <- r.len + 1
+    end
+    else begin
+      (* Full: the new event replaces the oldest.  Metrics carries the
+         drop too (when it is on), so a --stats report flags a truncated
+         timeline even if nobody inspects the trace file. *)
+      r.buf.(r.start) <- ev;
+      r.start <- (r.start + 1) mod cap;
+      r.dropped <- r.dropped + 1;
+      Metrics.incr "trace.dropped"
+    end
+  end
+
+let begin_ ~name ~cat = record Begin ~name ~cat
+let end_ ~name ~cat = record End ~name ~cat
+let instant ~name ~cat = record Instant ~name ~cat
+
+let with_ ~name ~cat f =
+  if not (enabled ()) then f ()
+  else begin
+    begin_ ~name ~cat;
+    Fun.protect ~finally:(fun () -> end_ ~name ~cat) f
+  end
+
+(* Merged, time-sorted timeline.  Ties (same clamped wall-clock tick)
+   break on (domain, seq) so the order is total and stable under the
+   coarse clock; within a domain seq order always agrees with record
+   order, which is what the begin/end pairing below relies on. *)
+let events () =
+  let of_ring r =
+    let cap = Array.length r.buf in
+    List.init r.len (fun i -> r.buf.((r.start + i) mod cap))
+  in
+  List.concat_map of_ring (rings ())
+  |> List.sort (fun a b ->
+         match compare a.ts_ns b.ts_ns with
+         | 0 -> (
+             match compare a.domain b.domain with
+             | 0 -> compare a.seq b.seq
+             | c -> c)
+         | c -> c)
+
+(* ------------------------------------------------- Chrome trace export *)
+
+(* The trace-event format: a JSON array of {ph, ts, pid, tid, name, cat}
+   objects, ts in microseconds.  Loadable by chrome://tracing, Perfetto,
+   and catapult tooling.  One synthetic counter event reports drops. *)
+let to_chrome_json ?(dropped = 0) evs =
+  let us_of_ns ns = float_of_int ns /. 1e3 in
+  let base =
+    List.map
+      (fun ev ->
+        let ph =
+          match ev.phase with Begin -> "B" | End -> "E" | Instant -> "i"
+        in
+        let fields =
+          [
+            ("name", Json.String ev.name);
+            ("cat", Json.String ev.cat);
+            ("ph", Json.String ph);
+            ("ts", Json.Float (us_of_ns ev.ts_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int ev.domain);
+          ]
+        in
+        (* Instants carry thread scope so viewers draw them as marks. *)
+        let fields =
+          if ev.phase = Instant then fields @ [ ("s", Json.String "t") ]
+          else fields
+        in
+        Json.Obj fields)
+      evs
+  in
+  let tail =
+    if dropped = 0 then []
+    else
+      [
+        Json.Obj
+          [
+            ("name", Json.String "trace.dropped");
+            ("cat", Json.String "trace");
+            ("ph", Json.String "C");
+            ("ts",
+             Json.Float
+               (match List.rev evs with
+               | last :: _ -> us_of_ns last.ts_ns
+               | [] -> 0.));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("dropped", Json.Int dropped) ]);
+          ];
+      ]
+  in
+  Json.List (base @ tail)
+
+(* ------------------------------------------------- folded-stack export *)
+
+(* One frame of the reconstruction: name, begin timestamp, and the time
+   already attributed to children (subtracted to get self time). *)
+type frame = { f_name : string; f_ts : int; mutable f_child_ns : int }
+
+(* Fold each domain's events (in record order) into "a;b;c self_ns"
+   lines, flamegraph.pl-compatible.  Durations clamp at 0 — the wall
+   clock can step backwards (see Metrics.now_ns).  Unpaired events are
+   tolerated, they are expected after ring overflow: an End with no
+   matching open frame is skipped; a Begin still open when the events run
+   out closes at the last timestamp seen on its domain. *)
+let to_folded evs =
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let add_total path ns =
+    Hashtbl.replace totals path
+      (ns + Option.value ~default:0 (Hashtbl.find_opt totals path))
+  in
+  let by_domain : (int, event list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt by_domain ev.domain with
+      | Some l -> l := ev :: !l
+      | None -> Hashtbl.replace by_domain ev.domain (ref [ ev ]))
+    evs;
+  let close stack ts =
+    match stack with
+    | [] -> []
+    | frame :: rest ->
+        let dur = max 0 (ts - frame.f_ts) in
+        let self = max 0 (dur - frame.f_child_ns) in
+        let path =
+          String.concat ";"
+            (List.rev_map (fun f -> f.f_name) (frame :: rest))
+        in
+        add_total path self;
+        (match rest with
+        | parent :: _ -> parent.f_child_ns <- parent.f_child_ns + dur
+        | [] -> ());
+        rest
+  in
+  let domains =
+    Hashtbl.fold (fun d l acc -> (d, List.rev !l) :: acc) by_domain []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun ((_, evs) : int * event list) ->
+      let evs = List.sort (fun (a : event) b -> compare a.seq b.seq) evs in
+      let last_ts =
+        List.fold_left (fun acc ev -> max acc ev.ts_ns) 0 evs
+      in
+      let stack =
+        List.fold_left
+          (fun stack ev ->
+            match ev.phase with
+            | Begin -> { f_name = ev.name; f_ts = ev.ts_ns; f_child_ns = 0 } :: stack
+            | End -> (
+                match stack with
+                | top :: _ when top.f_name = ev.name -> close stack ev.ts_ns
+                | _ -> stack (* orphan End: its Begin was dropped *))
+            | Instant -> stack)
+          [] evs
+      in
+      (* close frames left open (their End dropped, or tracing stopped
+         mid-span) at the domain's last timestamp *)
+      let rec drain stack =
+        match stack with [] -> () | _ -> drain (close stack last_ts)
+      in
+      drain stack)
+    domains;
+  let lines =
+    Hashtbl.fold (fun path ns acc -> (path, ns) :: acc) totals []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  String.concat ""
+    (List.map (fun (path, ns) -> Printf.sprintf "%s %d\n" path ns) lines)
+
+let write_file path =
+  let evs = events () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if Filename.check_suffix path ".folded" then
+        output_string oc (to_folded evs)
+      else begin
+        output_string oc
+          (Json.to_string (to_chrome_json ~dropped:(dropped ()) evs));
+        output_char oc '\n'
+      end)

@@ -1,0 +1,95 @@
+(** Event-timeline tracing: per-domain ring buffers of begin/end/instant
+    events, exportable as Chrome trace-event JSON (chrome://tracing,
+    Perfetto, catapult) or as folded stacks for flamegraph tools.
+
+    Where {!Metrics} and {!Span} aggregate (totals, call counts, bucket
+    histograms), a trace keeps {e when}: every event carries a wall-clock
+    timestamp and its domain id, so worker idle gaps at batch barriers,
+    serial cache warming, or a stalling Apriori level are visible on a
+    timeline instead of being averaged away.
+
+    The discipline matches {!Metrics}:
+
+    + {b Disabled is free.}  Every recording entry point checks one
+      atomic flag and returns — no allocation, no clock read.  The flag
+      shares the atomic word with the metrics flag, so code serving both
+      layers ([Span.with_], the pool) tests both with a single load.
+    + {b No contention.}  Each domain records into its own ring; rings
+      touch no shared state after the one-time registration.  Recording
+      changes no computed result at any job count.
+    + {b Bounded memory.}  Rings have fixed capacity.  On overflow the
+      oldest event is overwritten and the drop counted ({!dropped}, plus
+      the ["trace.dropped"] metrics counter when metrics are on) — a long
+      run keeps the {e newest} window of events rather than growing
+      without bound or silently losing the information that it dropped.
+
+    Timestamps come from {!Metrics.now_ns}, a wall clock that can step
+    backwards under NTP; consumers of event pairs clamp negative
+    durations to 0 (see {!to_folded}).  Take {!events}, {!reset}, or
+    {!write_file} only at a quiescent point, like {!Metrics.snapshot}. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  phase : phase;
+  name : string;
+  cat : string;  (** coarse grouping: "span", "pool", "trace", ... *)
+  ts_ns : int;  (** {!Metrics.now_ns} at record time *)
+  domain : int;  (** recording domain's id — the timeline lane *)
+  seq : int;  (** per-domain record order; ties and pairing use it *)
+}
+
+val set_enabled : bool -> unit
+(** Turn tracing on or off (off initially; independent of
+    [Metrics.set_enabled]).  Already-recorded events are kept. *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Per-domain ring capacity (default 65536 events).  Existing rings
+    adopt a new capacity at the next {!reset}; rings created afterwards
+    use it immediately.  Raises [Invalid_argument] when non-positive. *)
+
+val reset : unit -> unit
+(** Drop every recorded event and drop count, in every ring. *)
+
+val begin_ : name:string -> cat:string -> unit
+(** Open a slice on the current domain's timeline.  No-op when off. *)
+
+val end_ : name:string -> cat:string -> unit
+(** Close the most recent open slice of this [name].  No-op when off. *)
+
+val instant : name:string -> cat:string -> unit
+(** A zero-duration mark.  No-op when off. *)
+
+val with_ : name:string -> cat:string -> (unit -> 'a) -> 'a
+(** [with_ ~name ~cat f] brackets [f] in a begin/end pair.  The end event
+    is emitted even when [f] raises, so timelines stay paired across
+    exceptions.  When off, this is [f ()] after one flag check. *)
+
+val dropped : unit -> int
+(** Total events dropped to overflow across all rings since the last
+    {!reset}. *)
+
+val events : unit -> event list
+(** The merged timeline of every ring, sorted by timestamp with
+    (domain, seq) breaking ties.  Quiescent points only. *)
+
+val to_chrome_json : ?dropped:int -> event list -> Json.t
+(** Render events as a Chrome trace-event array: one object per event
+    with [ph] ("B"/"E"/"i"), [ts] (microseconds), [pid] (always 1),
+    [tid] (domain id), [name], and [cat] fields.  When [dropped > 0] a
+    final counter event named ["trace.dropped"] records the loss in the
+    trace itself. *)
+
+val to_folded : event list -> string
+(** Render events as folded-stack lines (["a;b;c self_ns\n"], the input
+    of [flamegraph.pl] and speedscope): per domain, begin/end pairs are
+    matched in record order, durations clamp at 0 (wall clock), self
+    time is duration minus children.  Unpaired events — expected after
+    ring overflow — are tolerated: an orphan End is skipped, a
+    still-open Begin closes at its domain's last timestamp. *)
+
+val write_file : string -> unit
+(** Write the current timeline to a file: folded stacks when the path
+    ends in [.folded], Chrome trace JSON otherwise. *)

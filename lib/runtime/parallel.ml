@@ -96,23 +96,29 @@ let apriori_mine pool ?chunk ?max_size db ~min_support =
   Ppdm_obs.Span.with_ ~name:"parallel.apriori" @@ fun () ->
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in
-  let level1 = Apriori.level1 db ~threshold in
+  let level1 =
+    Apriori.with_level_span ~size:1 (fun () -> Apriori.level1 db ~threshold)
+  in
   Apriori.record_level ~size:1 ~candidates:level1 ~frequent:level1;
   let rec levels acc current size =
     if size > cap || current = [] then acc
     else begin
-      let candidates =
-        Apriori.candidates_from ~frequent:(List.map fst current) ~size
+      let next =
+        Apriori.with_level_span ~size (fun () ->
+            let candidates =
+              Apriori.candidates_from ~frequent:(List.map fst current) ~size
+            in
+            if candidates = [] then []
+            else begin
+              let counted = support_counts pool ?chunk db candidates in
+              let next = List.filter (fun (_, c) -> c >= threshold) counted in
+              Apriori.record_level ~size ~candidates ~frequent:next;
+              next
+            end)
       in
-      if candidates = [] then acc
-      else begin
-        let counted = support_counts pool ?chunk db candidates in
-        let next = List.filter (fun (_, c) -> c >= threshold) counted in
-        Apriori.record_level ~size ~candidates ~frequent:next;
-        (* rev_append, not (@): the final sort fixes the order, and
-           appending per level is quadratic in the output size. *)
-        levels (List.rev_append next acc) next (size + 1)
-      end
+      (* rev_append, not (@): the final sort fixes the order, and
+         appending per level is quadratic in the output size. *)
+      levels (List.rev_append next acc) next (size + 1)
     end
   in
   let result = if cap < 1 then [] else levels level1 level1 2 in

@@ -130,9 +130,19 @@ let run_all pool fns =
     else Array.map (fun f -> if take_fault () then injected_task else f) fns
   in
   let n = Array.length fns in
-  (* Sampled once per batch: flipping the flag mid-batch must not tear a
-     batch's metrics. *)
+  (* Sampled once per batch: flipping either flag mid-batch must not tear
+     a batch's metrics or leave a begin event without its end. *)
   let instrument = Ppdm_obs.Metrics.enabled () in
+  let traced = Ppdm_obs.Trace.enabled () in
+  (* Task begin/end land on the executing domain's timeline lane; the
+     submit instants (parallel path below) land on the caller's. *)
+  let run_task ?queued_at f =
+    if traced then
+      Ppdm_obs.Trace.with_ ~name:"pool.task" ~cat:"pool" (fun () ->
+          if instrument then timed_task ?queued_at f else f ())
+    else if instrument then timed_task ?queued_at f
+    else f ()
+  in
   if n = 0 then ()
   else if Array.length pool.workers = 0 || n = 1 || pool.stopped then begin
     (* Sequential fallback: same closures, same order. *)
@@ -140,7 +150,7 @@ let run_all pool fns =
     let failed = ref None in
     Array.iter
       (fun f ->
-        try if instrument then timed_task f else f ()
+        try run_task f
         with e -> if !failed = None then failed := Some e)
       fns;
     Option.iter raise !failed
@@ -153,7 +163,7 @@ let run_all pool fns =
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
     let wrap f () =
-      (try if instrument then timed_task ?queued_at f else f ()
+      (try run_task ?queued_at f
        with e -> ignore (Atomic.compare_and_set failed None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock batch_lock;
@@ -161,6 +171,10 @@ let run_all pool fns =
         Mutex.unlock batch_lock
       end
     in
+    if traced then
+      Array.iter
+        (fun _ -> Ppdm_obs.Trace.instant ~name:"pool.task.submit" ~cat:"pool")
+        fns;
     Mutex.lock pool.lock;
     Array.iter (fun f -> Queue.add (wrap f) pool.queue) fns;
     Condition.broadcast pool.work_available;

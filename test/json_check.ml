@@ -1,9 +1,26 @@
-(* Validate JSON-lines input on stdin with the in-repo parser: every
-   non-empty line must parse and carry a "type" field.  Used by the CI
-   smoke step to check `ppdm mine --stats json` output without depending
-   on jq or any opam JSON package.  Exit 0 on success, 1 otherwise. *)
+(* Validate obs-layer output on stdin with the in-repo parser; no jq, no
+   opam JSON package.  Exit 0 on success, 1 otherwise.
 
-let () =
+   Modes:
+     (default)  JSON-lines, e.g. `ppdm mine --stats json`: every
+                non-empty line must parse and carry a "type" field.
+     --trace    one Chrome trace-event document, e.g. `ppdm private
+                --trace out.json`: a JSON array whose every element has
+                the ph/ts/pid/tid/name fields the viewers require (cat
+                too, except on counter events). *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("json_check: " ^ s); exit 1) fmt
+
+let check_lines () =
   let ok = ref true in
   let lines = ref 0 in
   (try
@@ -26,9 +43,42 @@ let () =
        end
      done
    with End_of_file -> ());
-  if !lines = 0 then begin
-    prerr_endline "json_check: no input lines";
-    exit 1
-  end;
-  if !ok then Printf.printf "json_check: %d lines ok\n" !lines
-  else exit 1
+  if !lines = 0 then fail "no input lines";
+  if !ok then Printf.printf "json_check: %d lines ok\n" !lines else exit 1
+
+let check_trace () =
+  let events =
+    match Ppdm_obs.Json.parse (read_all stdin) with
+    | Error e -> fail "trace unparsable: %s" e
+    | Ok (Ppdm_obs.Json.List events) -> events
+    | Ok _ -> fail "trace is not a JSON array"
+  in
+  if events = [] then fail "trace has no events";
+  List.iteri
+    (fun i ev ->
+      let str key =
+        match Ppdm_obs.Json.member key ev with
+        | Some (Ppdm_obs.Json.String s) -> s
+        | _ -> fail "event %d: missing string field %S" i key
+      in
+      let num key =
+        match Ppdm_obs.Json.member key ev with
+        | Some (Ppdm_obs.Json.Int _ | Ppdm_obs.Json.Float _) -> ()
+        | _ -> fail "event %d: missing numeric field %S" i key
+      in
+      ignore (str "name");
+      let ph = str "ph" in
+      if not (List.mem ph [ "B"; "E"; "i"; "C" ]) then
+        fail "event %d: unknown phase %S" i ph;
+      if ph <> "C" then ignore (str "cat");
+      num "ts";
+      num "pid";
+      num "tid")
+    events;
+  Printf.printf "json_check: trace ok (%d events)\n" (List.length events)
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> check_lines ()
+  | [| _; "--trace" |] -> check_trace ()
+  | _ -> fail "usage: json_check [--trace] < input"

@@ -30,4 +30,5 @@ let () =
       ("accountant", Test_accountant.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -339,6 +339,30 @@ let test_instrumentation_coverage () =
         [ "parallel.randomize"; "parallel.apriori"; "parallel.observe";
           "stream.estimate" ])
 
+(* Span.with_ serves both layers off one flag word: with metrics and
+   tracing both on, a span must land in the span tree and put a matched
+   begin/end pair on the timeline. *)
+let test_span_feeds_trace () =
+  scoped (fun () ->
+      Trace.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.set_enabled false;
+          Trace.reset ())
+        (fun () ->
+          Metrics.set_enabled true;
+          Trace.set_enabled true;
+          Span.with_ ~name:"both" (fun () -> ());
+          let roots = List.map (fun s -> s.Span.name) (Span.tree ()) in
+          Alcotest.(check bool) "span tree has it" true (List.mem "both" roots);
+          let pairs =
+            List.map
+              (fun (e : Trace.event) -> (e.Trace.phase, e.Trace.name))
+              (Trace.events ())
+          in
+          Alcotest.(check bool) "timeline has the begin/end pair" true
+            (pairs = [ (Trace.Begin, "both"); (Trace.End, "both") ])))
+
 let suite =
   [
     Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
@@ -357,4 +381,5 @@ let suite =
       test_stats_do_not_change_results;
     Alcotest.test_case "instrumentation coverage" `Quick
       test_instrumentation_coverage;
+    Alcotest.test_case "span feeds trace" `Quick test_span_feeds_trace;
   ]
