@@ -421,6 +421,68 @@ let b6 () =
       ~ns_per_op:(dt *. 1e9 /. float_of_int checks)
       ~throughput:per_sec ()
 
+let b7 () =
+  header "B7  Counting engines: trie vs vertical vs eclat (QUEST dense & sparse)";
+  (* Two ends of the density spectrum: a small universe where most items
+     go to bitmaps, and a wide sparse one where most stay tid arrays. *)
+  let quest ~universe ~avg =
+    let rng = Rng.create ~seed:11 () in
+    Ppdm_datagen.Quest.generate rng
+      {
+        Ppdm_datagen.Quest.default with
+        universe;
+        n_transactions = 5_000;
+        avg_transaction_size = avg;
+      }
+  in
+  let datasets =
+    [ ("dense", quest ~universe:100 ~avg:20.); ("sparse", quest ~universe:2_000 ~avg:5.) ]
+  in
+  let min_support = 0.02 in
+  let tests =
+    List.concat_map
+      (fun (label, db) ->
+        let vt = Vertical.load db in
+        let scratch = Vertical.make_scratch vt in
+        let frequent1 =
+          List.map fst (Apriori.mine db ~min_support ~max_size:1)
+        in
+        let candidates = Apriori.candidates_from ~frequent:frequent1 ~size:2 in
+        Printf.printf
+          "  [%s] universe=%d density=%.4f level-2 candidates=%d tid-sets: %d \
+           dense / %d sparse\n"
+          label (Db.universe db) (Db.density db) (List.length candidates)
+          (Vertical.dense_items vt) (Vertical.sparse_items vt);
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "%s level-2 trie" label)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Count.support_counts db candidates)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "%s level-2 vertical" label)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Vertical.support_counts ~scratch vt candidates)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "%s apriori trie" label)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore
+                   (Apriori.mine ~counter:Apriori.Trie db ~min_support
+                      ~max_size:3)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "%s apriori vertical" label)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore
+                   (Apriori.mine ~counter:Apriori.Vertical db ~min_support
+                      ~max_size:3)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "%s eclat" label)
+            (Bechamel.Staged.stage (fun () ->
+                 ignore (Eclat.mine db ~min_support ~max_size:3)));
+        ])
+      datasets
+  in
+  run_benchmarks ~section:"b7" (Bechamel.Test.make_grouped ~name:"engines" tests)
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -431,7 +493,7 @@ let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
-    ("b6", b6) ]
+    ("b6", b6); ("b7", b7) ]
 
 (* Value of `--flag V` anywhere in argv, or None. *)
 let argv_opt flag =

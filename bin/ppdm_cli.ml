@@ -290,16 +290,36 @@ let minsup_term =
 let maxsize_term =
   Arg.(value & opt int 3 & info [ "max-size" ] ~doc:"Largest itemset size explored.")
 
+(* The mined output is byte-identical across engines, so the default can
+   follow the data (auto) without breaking anyone's diff. *)
+let counter_term =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("trie", Apriori.Trie);
+             ("vertical", Apriori.Vertical);
+             ("auto", Apriori.Auto);
+           ])
+        Apriori.Auto
+    & info [ "counter" ]
+        ~doc:
+          "Support-counting engine for Apriori: $(b,trie) (horizontal hash \
+           trie), $(b,vertical) (word-level tid bitmaps), or $(b,auto) \
+           (vertical once the database fills a bitmap word).  The mined \
+           output is identical either way.")
+
 let mine_cmd =
   let min_confidence =
     Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
   in
-  let run input min_support max_size min_confidence jobs stats trace =
+  let run input min_support max_size min_confidence counter jobs stats trace =
     with_obs stats trace @@ fun () ->
     let db = Io.read_file input in
     let frequent =
       Pool.with_pool ~jobs (fun pool ->
-          Parallel.apriori_mine pool db ~min_support ~max_size)
+          Parallel.apriori_mine pool db ~min_support ~max_size ~counter)
     in
     Printf.printf "%d frequent itemsets at minsup %.3f:\n" (List.length frequent) min_support;
     List.iter
@@ -318,12 +338,12 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
     Term.(
       const run $ in_term $ minsup_term $ maxsize_term $ min_confidence
-      $ jobs_term $ stats_term $ trace_term)
+      $ counter_term $ jobs_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- private *)
 
 let private_cmd =
-  let run input spec min_support max_size seed jobs stats trace =
+  let run input spec min_support max_size counter seed jobs stats trace =
     with_obs stats trace @@ fun () ->
     let db = Io.read_file input in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
@@ -331,7 +351,7 @@ let private_cmd =
     let data, truth =
       Pool.with_pool ~jobs (fun pool ->
           ( Parallel.randomize_db_tagged pool scheme rng db,
-            Parallel.apriori_mine pool db ~min_support ~max_size ))
+            Parallel.apriori_mine pool db ~min_support ~max_size ~counter ))
     in
     let mined = Ppmining.mine ~scheme ~data ~min_support ~max_size () in
     Printf.printf "operator: %s\n" (Randomizer.name scheme);
@@ -351,7 +371,7 @@ let private_cmd =
        ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
     Term.(
       const run $ in_term $ operator_term $ minsup_term $ maxsize_term
-      $ seed_term $ jobs_term $ stats_term $ trace_term)
+      $ counter_term $ seed_term $ jobs_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- recover *)
 

@@ -8,6 +8,9 @@ type miner = string * (Db.t -> min_support:float -> (Itemset.t * int) list)
 let sequential_miners ?max_size () =
   [
     ("apriori", fun db ~min_support -> Apriori.mine ?max_size db ~min_support);
+    ( "apriori-vertical",
+      fun db ~min_support ->
+        Apriori.mine ?max_size ~counter:Apriori.Vertical db ~min_support );
     ("eclat", fun db ~min_support -> Eclat.mine ?max_size db ~min_support);
     ("fp-growth", fun db ~min_support -> Fptree.mine ?max_size db ~min_support);
   ]
@@ -18,6 +21,10 @@ let parallel_miners ?max_size pool =
     ( "parallel-apriori/j" ^ j,
       fun db ~min_support ->
         Ppdm_runtime.Parallel.apriori_mine pool ?max_size db ~min_support );
+    ( "parallel-apriori-vertical/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.apriori_mine pool ?max_size
+          ~counter:Apriori.Vertical db ~min_support );
     ( "parallel-eclat/j" ^ j,
       fun db ~min_support ->
         Ppdm_runtime.Parallel.eclat_mine pool ?max_size db ~min_support );

@@ -14,11 +14,12 @@ type miner = string * (Db.t -> min_support:float -> (Itemset.t * int) list)
 (** A named frequent-itemset miner under test. *)
 
 val sequential_miners : ?max_size:int -> unit -> miner list
-(** Apriori, Eclat, and FP-growth. *)
+(** Apriori on both counting engines (the hash trie and the vertical
+    bitmap engine), Eclat, and FP-growth. *)
 
 val parallel_miners : ?max_size:int -> Ppdm_runtime.Pool.t -> miner list
-(** The parallel Apriori and Eclat drivers on the given pool, labelled
-    with its job count. *)
+(** The parallel Apriori (trie-sharded and tid-range-sharded vertical)
+    and Eclat drivers on the given pool, labelled with its job count. *)
 
 val canonical : (Itemset.t * int) list -> string
 (** Sorted ({!Itemset.compare}) and printed: the byte-comparable form the

@@ -270,7 +270,8 @@ let run ?count ?(seed = 42) ?(log = ignore) () =
                             true out
                      then Ok ()
                      else Error "randomized output escaped the universe")) );
-          ( "differential: apriori/eclat/fp-growth/parallel at jobs 1/2/4",
+          ( "differential: apriori trie+vertical/eclat/fp-growth/parallel at \
+             jobs 1/2/4",
             fun () -> differential_check ~seed ~count pools );
           ("metamorphic: duplicate/permute/pad laws", fun () ->
               metamorphic_check ~seed ~count);

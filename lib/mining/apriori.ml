@@ -1,16 +1,32 @@
 open Ppdm_data
 
 (* Self-join: two (k-1)-itemsets sharing their first k-2 items produce a
-   k-candidate; the prune then requires every (k-1)-subset to be frequent. *)
+   k-candidate; the prune then requires every (k-1)-subset to be frequent.
+   The (k-1)-itemsets are sorted lexicographically and cut into runs
+   sharing their (k-2)-prefix, so the join only pairs within a prefix
+   class instead of scanning the whole level per itemset. *)
+let compare_int_arrays a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i = n then Stdlib.compare la lb
+    else
+      let c = Stdlib.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
 let candidates_from ~frequent ~size =
   if size < 2 then invalid_arg "Apriori.candidates_from: size must be >= 2";
   let known = Hashtbl.create (2 * List.length frequent) in
   List.iter (fun s -> Hashtbl.replace known s ()) frequent;
-  let arrays = List.map Itemset.to_array frequent in
+  (* read-only from here on, so the non-copying view is safe *)
+  let arrays = List.map Itemset.unsafe_to_array frequent in
   let sorted =
-    List.sort compare (List.filter (fun a -> Array.length a = size - 1) arrays)
+    Array.of_list (List.filter (fun a -> Array.length a = size - 1) arrays)
   in
-  let shares_prefix a b =
+  Array.sort compare_int_arrays sorted;
+  let same_prefix a b =
     let ok = ref true in
     for i = 0 to size - 3 do
       if a.(i) <> b.(i) then ok := false
@@ -31,28 +47,33 @@ let candidates_from ~frequent ~size =
     done;
     !ok
   in
-  let rec join acc = function
-    | [] -> acc
-    | a :: rest ->
-        let acc =
-          List.fold_left
-            (fun acc b ->
-              if shares_prefix a b && a.(size - 2) < b.(size - 2) then begin
-                let candidate = Array.append a [| b.(size - 2) |] in
-                Ppdm_obs.Metrics.incr "apriori.candidates.joined";
-                if all_subsets_frequent candidate then
-                  Itemset.of_sorted_array_unchecked candidate :: acc
-                else begin
-                  Ppdm_obs.Metrics.incr "apriori.candidates.pruned";
-                  acc
-                end
-              end
-              else acc)
-            acc rest
-        in
-        join acc rest
-  in
-  List.rev (join [] sorted)
+  let acc = ref [] in
+  let n = Array.length sorted in
+  let run_start = ref 0 in
+  while !run_start < n do
+    (* the run of itemsets sharing sorted.(!run_start)'s (k-2)-prefix:
+       contiguous because the sort is lexicographic *)
+    let run_end = ref (!run_start + 1) in
+    while !run_end < n && same_prefix sorted.(!run_start) sorted.(!run_end) do
+      incr run_end
+    done;
+    for i = !run_start to !run_end - 1 do
+      for j = i + 1 to !run_end - 1 do
+        let a = sorted.(i) and b = sorted.(j) in
+        (* within a run the last items ascend, but duplicates in the input
+           would make them equal: keep the strict test *)
+        if a.(size - 2) < b.(size - 2) then begin
+          let candidate = Array.append a [| b.(size - 2) |] in
+          Ppdm_obs.Metrics.incr "apriori.candidates.joined";
+          if all_subsets_frequent candidate then
+            acc := Itemset.of_sorted_array_unchecked candidate :: !acc
+          else Ppdm_obs.Metrics.incr "apriori.candidates.pruned"
+        end
+      done
+    done;
+    run_start := !run_end
+  done;
+  List.rev !acc
 
 let absolute_threshold ~n ~min_support =
   if min_support <= 0. || min_support > 1. then
@@ -87,13 +108,45 @@ let with_level_span ~size f =
     Ppdm_obs.Span.with_ ~name:(Printf.sprintf "apriori.level%d" size) f
   else f ()
 
-let mine ?max_size db ~min_support =
+type counter = Trie | Vertical | Auto
+
+(* Auto: the transpose pays off once dense tid-sets span at least one
+   full word; below 62 transactions the trie's per-transaction walk is
+   already trivially cheap. *)
+let resolve_counter counter db =
+  match counter with
+  | Trie -> `Trie
+  | Vertical -> `Vertical
+  | Auto ->
+      if Db.length db >= Bitset.bits_per_word then `Vertical else `Trie
+
+let mine ?max_size ?(counter = Trie) db ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Apriori.mine: min_support out of (0,1]";
   Ppdm_obs.Span.with_ ~name:"apriori.mine" (fun () ->
       let n = Db.length db in
       let threshold = absolute_threshold ~n ~min_support in
       let cap = Option.value max_size ~default:max_int in
+      (* Both engines produce Itemset.compare-sorted (itemset, count)
+         lists with identical counts, so everything below the choice is
+         engine-independent and the mined output is byte-identical. *)
+      let count_level =
+        match resolve_counter counter db with
+        | `Trie ->
+            Ppdm_obs.Metrics.incr "apriori.counter.trie";
+            fun candidates -> Count.support_counts db candidates
+        | `Vertical ->
+            Ppdm_obs.Metrics.incr "apriori.counter.vertical";
+            (* Lazy: a run capped at level 1 never needs the transpose. *)
+            let state =
+              lazy
+                (let vt = Vertical.load db in
+                 (vt, Vertical.make_scratch vt))
+            in
+            fun candidates ->
+              let vt, scratch = Lazy.force state in
+              Vertical.support_counts ~scratch vt candidates
+      in
       let level1 = with_level_span ~size:1 (fun () -> level1 db ~threshold) in
       record_level ~size:1 ~candidates:level1 ~frequent:level1;
       let rec levels acc current size =
@@ -106,7 +159,7 @@ let mine ?max_size db ~min_support =
                 in
                 if candidates = [] then []
                 else begin
-                  let counted = Count.support_counts db candidates in
+                  let counted = count_level candidates in
                   let next =
                     List.filter (fun (_, c) -> c >= threshold) counted
                   in

@@ -6,12 +6,29 @@
 
 open Ppdm_data
 
+type counter = Trie | Vertical | Auto
+(** Which support-counting engine the level loop runs on.  [Trie] is the
+    horizontal hash-trie of {!Count} (one walk per transaction per
+    level); [Vertical] transposes the database once into {!Vertical}
+    tid-sets and answers each candidate with one word-level intersection;
+    [Auto] picks [Vertical] whenever the database fills at least one
+    bitmap word (62 transactions) and falls back to [Trie] on tiny
+    inputs, where the transpose cannot amortize.  The mined output is
+    byte-identical across all three. *)
+
+val resolve_counter : counter -> Db.t -> [ `Trie | `Vertical ]
+(** The engine [Auto] resolves to on this database (identity on the
+    explicit choices).  Exposed so external drivers — the parallel
+    runtime, the CLI — agree with {!mine} on the resolution rule. *)
+
 val mine :
-  ?max_size:int -> Db.t -> min_support:float -> (Itemset.t * int) list
+  ?max_size:int -> ?counter:counter -> Db.t -> min_support:float ->
+  (Itemset.t * int) list
 (** [mine db ~min_support] returns every itemset with support (fraction of
     transactions) at least [min_support], paired with its absolute count,
     in {!Itemset.compare} order.  [max_size] caps the itemset cardinality
-    explored (default: unbounded).
+    explored (default: unbounded); [counter] selects the counting engine
+    (default [Trie], the historical behaviour).
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
 val candidates_from :

@@ -32,7 +32,8 @@ let candidate_count t = t.candidates
 
 let count_transaction t tx =
   Ppdm_obs.Metrics.incr "count.transactions";
-  let items = Itemset.to_array tx in
+  (* read-only walk, so the defensive copy of [to_array] is pure waste *)
+  let items = Itemset.unsafe_to_array tx in
   let len = Array.length items in
   let rec walk node start =
     for pos = start to len - 1 do

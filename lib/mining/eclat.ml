@@ -1,26 +1,14 @@
 open Ppdm_data
 
-(* Intersection of two sorted tid arrays. *)
-let inter_tids a b =
-  let la = Array.length a and lb = Array.length b in
-  let buf = Array.make (min la lb) 0 in
-  let i = ref 0 and j = ref 0 and k = ref 0 in
-  while !i < la && !j < lb do
-    if a.(!i) = b.(!j) then begin
-      buf.(!k) <- a.(!i);
-      incr k;
-      incr i;
-      incr j
-    end
-    else if a.(!i) < b.(!j) then incr i
-    else incr j
-  done;
-  Array.sub buf 0 !k
+(* Tid-sets are the adaptive dense/sparse hybrids of the vertical
+   engine: dense atoms intersect by word-wide AND, a sparse operand
+   against a dense one probes bit by bit, two sparse ones merge.  Counts
+   come back with every intersection, so patterns never recount. *)
 
 type atoms = {
   threshold : int;
-  items : (int * int array) array;
-  (* frequent items with ascending tid-sets, in item order *)
+  items : (int * Vertical.tidset * int) array;
+      (* frequent (item, tid-set, count), in item order *)
 }
 
 let atoms db ~min_support =
@@ -28,42 +16,48 @@ let atoms db ~min_support =
     invalid_arg "Eclat.atoms: min_support out of (0,1]";
   Ppdm_obs.Span.with_ ~name:"eclat.atoms" @@ fun () ->
   let threshold = Threshold.absolute ~n:(Db.length db) ~min_support in
-  (* Build tid-sets for frequent items (tids are ascending by construction
-     of the scan). *)
-  let buckets = Array.make (Db.universe db) [] in
-  Db.iteri
-    (fun tid tx -> Itemset.iter (fun item -> buckets.(item) <- tid :: buckets.(item)) tx)
-    db;
+  let vt = Vertical.load db in
   let items =
     List.filter_map Fun.id
       (List.init (Db.universe db) (fun item ->
-           let tids = buckets.(item) in
-           if List.length tids >= threshold then
-             Some (item, Array.of_list (List.rev tids))
+           let count = Vertical.item_count vt item in
+           if count >= threshold then
+             Some (item, Vertical.item_tidset vt item, count)
            else None))
   in
   let items = Array.of_list items in
-  Ppdm_obs.Metrics.gauge "eclat.atoms" (float_of_int (Array.length items));
+  if Ppdm_obs.Metrics.enabled () then begin
+    Ppdm_obs.Metrics.gauge "eclat.atoms" (float_of_int (Array.length items));
+    let dense =
+      Array.fold_left
+        (fun acc (_, ts, _) -> if Vertical.tidset_is_dense ts then acc + 1 else acc)
+        0 items
+    in
+    Ppdm_obs.Metrics.add "eclat.atoms.dense" dense;
+    Ppdm_obs.Metrics.add "eclat.atoms.sparse" (Array.length items - dense)
+  end;
   { threshold; items }
 
 let atom_count t = Array.length t.items
 
-(* DFS over prefix classes: [atoms] holds (item, tidset) pairs usable to
-   extend the current prefix, all items greater than the prefix's last
-   item. *)
+(* DFS over prefix classes: [atoms] holds (item, tid-set, count) triples
+   usable to extend the current prefix, all items greater than the
+   prefix's last item. *)
 let rec dfs t cap results prefix depth atoms =
   List.iteri
-    (fun idx (item, tids) ->
-      let count = Array.length tids in
+    (fun idx (item, tids, count) ->
       let pattern = item :: prefix in
       Ppdm_obs.Metrics.incr "eclat.patterns";
       results := (Itemset.of_list pattern, count) :: !results;
       if depth < cap then begin
         let extensions =
           List.filteri (fun j _ -> j > idx) atoms
-          |> List.filter_map (fun (other, other_tids) ->
-                 let joint = inter_tids tids other_tids in
-                 if Array.length joint >= t.threshold then Some (other, joint)
+          |> List.filter_map (fun (other, other_tids, _) ->
+                 let joint, joint_count =
+                   Vertical.inter_tidsets tids other_tids
+                 in
+                 if joint_count >= t.threshold then
+                   Some (other, joint, joint_count)
                  else None)
         in
         if extensions <> [] then dfs t cap results pattern (depth + 1) extensions
@@ -85,16 +79,16 @@ let mine_atoms ?max_size t ~lo ~hi =
        atom after it, so classes rooted in disjoint ranges partition the
        output (the basis of the parallel driver). *)
     for i = lo to hi - 1 do
-      let item, tids = t.items.(i) in
+      let item, tids, count = t.items.(i) in
       Ppdm_obs.Metrics.incr "eclat.patterns";
-      results := (Itemset.singleton item, Array.length tids) :: !results;
+      results := (Itemset.singleton item, count) :: !results;
       if cap > 1 then begin
         let extensions = ref [] in
         for j = Array.length t.items - 1 downto i + 1 do
-          let other, other_tids = t.items.(j) in
-          let joint = inter_tids tids other_tids in
-          if Array.length joint >= t.threshold then
-            extensions := (other, joint) :: !extensions
+          let other, other_tids, _ = t.items.(j) in
+          let joint, joint_count = Vertical.inter_tidsets tids other_tids in
+          if joint_count >= t.threshold then
+            extensions := (other, joint, joint_count) :: !extensions
         done;
         (* The frontier of each prefix class: how evenly the DFS work is
            cut, which is what the parallel driver load-balances over. *)

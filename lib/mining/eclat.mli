@@ -2,7 +2,10 @@
     over the vertical (tid-set) representation.  A third miner alongside
     {!Apriori} and {!Fptree} — identical output, different runtime shape
     (intersection-bound rather than candidate- or tree-bound), used by the
-    miner-comparison benchmark. *)
+    miner-comparison benchmark.  Tid-sets are the adaptive dense/sparse
+    hybrids of {!Vertical}: frequent items start as packed bitmaps
+    (word-AND intersections), and the DFS degrades to sorted-tid probes
+    and merges as intersections shrink. *)
 
 open Ppdm_data
 

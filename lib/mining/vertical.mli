@@ -1,0 +1,127 @@
+(** Vertical bitmap counting engine: word-level support counting for the
+    level-wise miners.
+
+    The horizontal layouts pay per-transaction costs — {!Count} walks a
+    hash trie per transaction per level, {!Eclat} merged sorted tid arrays
+    element by element.  This engine transposes the database {e once} into
+    per-item {e tid-sets} (the set of transaction indices containing the
+    item) in one of two adaptive representations chosen by item density:
+
+    - {b dense}: one bit per transaction, packed into 62-bit words
+      ({!Ppdm_data.Bitset.bits_per_word}) — intersections are word-wide
+      [land]s and supports are SWAR popcounts;
+    - {b sparse}: a strictly increasing tid array — rare items stay small,
+      and sparse∧dense intersections are per-tid probes.
+
+    A candidate's support is the cardinality of the intersection of its
+    items' tid-sets.  Candidate batches are counted through reusable
+    {!scratch} buffers with the shared (k-1)-prefix intersection reused
+    across a sorted candidate run, so steady-state counting performs one
+    intersection per candidate and {e no per-candidate allocation}.
+
+    Counting can be restricted to a window of bitmap words
+    ([word_lo..word_hi)], i.e. a tid range): partial counts over disjoint
+    windows sum to the full count, which is how the parallel runtime
+    shards the engine across domains without changing any result. *)
+
+open Ppdm_data
+
+type t
+(** The vertical form of one database: per-item tid-sets plus item
+    counts.  Immutable once built; safe to share across domains. *)
+
+val load : ?dense_cutoff:float -> Db.t -> t
+(** Transpose the database (one pass after {!Db.item_counts}).  An item
+    goes dense when its support fraction is at least [dense_cutoff];
+    the default [1/62] is the memory break-even point, where the bitmap
+    is no larger than the tid array it replaces.
+    @raise Invalid_argument if [dense_cutoff] is negative (or NaN). *)
+
+val length : t -> int
+(** Number of transactions (the tid range is [0..length-1]). *)
+
+val universe : t -> int
+val word_count : t -> int
+(** Number of 62-bit words a dense tid-set spans: [ceil (length / 62)]. *)
+
+val item_count : t -> int -> int
+(** Support count of a single item (0 for an item outside the universe is
+    {e not} provided here — the item must be in [0..universe-1]). *)
+
+val dense_items : t -> int
+val sparse_items : t -> int
+(** How many items landed in each representation. *)
+
+(** {2 Tid-sets}
+
+    The adaptive tid-set itself, exposed so {!Eclat} can run its
+    depth-first search on the same hybrid representation:
+    dense∧dense is a word-wide AND, sparse∧dense a probe, sparse∧sparse
+    the classic sorted merge. *)
+
+type tidset
+
+val item_tidset : t -> int -> tidset
+val tidset_cardinal : tidset -> int
+val tidset_is_dense : tidset -> bool
+
+val tidset_tids : tidset -> int array
+(** The ascending tids, materialized (fresh array). *)
+
+val tidset_of_tids : n:int -> dense:bool -> int array -> tidset
+(** Build a tid-set over [n] transactions from strictly increasing tids in
+    [0..n-1], forcing the given representation — the test harness uses
+    this to cross-check every intersection kernel pair.
+    @raise Invalid_argument on out-of-range or non-increasing tids. *)
+
+val inter_tidsets : tidset -> tidset -> tidset * int
+(** Intersection and its cardinality.  The result representation is
+    adaptive: it goes sparse when that is the smaller encoding, so deep
+    Eclat chains degrade from word ANDs to cheap probes as tid-sets
+    shrink.  Cardinalities (and therefore all mined counts) never depend
+    on representation choices.
+    @raise Invalid_argument on dense operands of different word counts. *)
+
+(** {2 Batch counting} *)
+
+type scratch
+(** Reusable intersection buffers (one per prefix depth, grown on
+    demand).  Not shared between domains: one scratch per worker. *)
+
+val make_scratch : t -> scratch
+
+type prepared
+(** A candidate batch, sorted by {!Itemset.compare} and deduplicated —
+    the order that makes shared prefixes adjacent, and the order of every
+    result list. *)
+
+val prepare : Itemset.t list -> prepared
+(** @raise Invalid_argument on an empty candidate (as {!Count.add}). *)
+
+val prepared_length : prepared -> int
+
+val count_into :
+  ?scratch:scratch -> t -> ?word_lo:int -> ?word_hi:int -> prepared ->
+  int array
+(** Support counts in [prepared] order, restricted to transactions whose
+    tid falls in words [word_lo..word_hi) (defaults: the full database).
+    Counts over disjoint windows sum to the full-window counts — the
+    sharding identity the parallel driver relies on.  A candidate
+    containing an item outside the universe counts 0, as with the trie.
+    @raise Invalid_argument on a window outside [0, word_count]. *)
+
+val assemble : prepared -> int array -> (Itemset.t * int) list
+(** Pair a {!count_into} result (or a sum of them) back with its
+    itemsets, in {!Itemset.compare} order — the exact shape
+    {!Count.support_counts} returns.
+    @raise Invalid_argument on a length mismatch. *)
+
+val support_counts :
+  ?scratch:scratch -> t -> Itemset.t list -> (Itemset.t * int) list
+(** [prepare] + [count_into] + [assemble]: drop-in replacement for
+    {!Count.support_counts} — byte-identical output on the same
+    database. *)
+
+val support_count : ?scratch:scratch -> t -> Itemset.t -> int
+(** Support of a single itemset.
+    @raise Invalid_argument if it is empty. *)

@@ -90,10 +90,62 @@ let support_counts pool ?chunk db candidates =
     Count.to_list merged
   end
 
-let apriori_mine pool ?chunk ?max_size db ~min_support =
+(* Tid-range sharding of the vertical engine: domains split the bitmap
+   words, not the candidate list.  Every worker counts the whole batch
+   over its word window into a plain int array; summing the per-window
+   arrays in chunk-index order gives the full-window counts (counts over
+   disjoint tid ranges are sums of non-negative ints, so the result is
+   bit-identical to the sequential count at any job count). *)
+let support_counts_vertical pool ?chunk vt candidates =
+  Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
+  let n_words = Vertical.word_count vt in
+  let chunk =
+    match chunk with
+    | Some c ->
+        if c <= 0 then
+          invalid_arg "Parallel.support_counts_vertical: chunk must be positive";
+        c
+    | None ->
+        (* At most 64 windows, each at least 256 words (~16k tids): wide
+           enough to amortize the per-window candidate walk. *)
+        max 256 ((n_words + 63) / 64)
+  in
+  let prepared = Vertical.prepare candidates in
+  if Vertical.prepared_length prepared = 0 then []
+  else if n_words = 0 then
+    Vertical.assemble prepared (Vertical.count_into vt prepared)
+  else begin
+    let tasks =
+      chunk_tasks ~n:n_words ~chunk (fun ~pos ~len ->
+          Vertical.count_into vt ~word_lo:pos ~word_hi:(pos + len) prepared)
+    in
+    let parts = Pool.run pool tasks in
+    let totals = parts.(0) in
+    for p = 1 to Array.length parts - 1 do
+      let part = parts.(p) in
+      for i = 0 to Array.length totals - 1 do
+        totals.(i) <- totals.(i) + part.(i)
+      done
+    done;
+    Vertical.assemble prepared totals
+  end
+
+let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
+    ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Parallel.apriori_mine: min_support out of (0,1]";
   Ppdm_obs.Span.with_ ~name:"parallel.apriori" @@ fun () ->
+  let count_level =
+    match Apriori.resolve_counter counter db with
+    | `Trie ->
+        Ppdm_obs.Metrics.incr "apriori.counter.trie";
+        fun candidates -> support_counts pool ?chunk db candidates
+    | `Vertical ->
+        Ppdm_obs.Metrics.incr "apriori.counter.vertical";
+        let state = lazy (Vertical.load db) in
+        fun candidates ->
+          support_counts_vertical pool ?chunk (Lazy.force state) candidates
+  in
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in
   let level1 =
@@ -110,7 +162,7 @@ let apriori_mine pool ?chunk ?max_size db ~min_support =
             in
             if candidates = [] then []
             else begin
-              let counted = support_counts pool ?chunk db candidates in
+              let counted = count_level candidates in
               let next = List.filter (fun (_, c) -> c >= threshold) counted in
               Apriori.record_level ~size ~candidates ~frequent:next;
               next

@@ -48,13 +48,31 @@ val support_counts :
     size is scaled so at most 64 tries are built (counts are sums, so
     unlike randomization the chunking cannot affect the result). *)
 
-val apriori_mine :
-  Pool.t -> ?chunk:int -> ?max_size:int -> Db.t -> min_support:float ->
+val support_counts_vertical :
+  Pool.t -> ?chunk:int -> Ppdm_mining.Vertical.t -> Itemset.t list ->
   (Itemset.t * int) list
+(** Tid-range-sharded [Vertical.support_counts]: domains split the bitmap
+    {e words} (each worker counts the whole candidate batch over a window
+    of [chunk] words into an int array) rather than the candidate list,
+    and the per-window count arrays are summed in chunk-index order.
+    Counts over disjoint tid ranges add up exactly, so the output is
+    bit-identical to the sequential engine at any job count.  When
+    [?chunk] is omitted at most 64 windows of at least 256 words each are
+    cut.
+    @raise Invalid_argument if [chunk <= 0] or a candidate is empty. *)
+
+val apriori_mine :
+  Pool.t -> ?chunk:int -> ?max_size:int -> ?counter:Ppdm_mining.Apriori.counter ->
+  Db.t -> min_support:float -> (Itemset.t * int) list
 (** [Apriori.mine] with every level's candidate counting sharded through
-    {!support_counts}.  Candidate generation and thresholding replicate
-    [Apriori] exactly ([Apriori.absolute_threshold], [Apriori.level1],
-    [Apriori.candidates_from]).
+    {!support_counts} ([counter = Trie], the default) or
+    {!support_counts_vertical} ([counter = Vertical]; [Auto] resolves via
+    [Apriori.resolve_counter]).  [?chunk] is in transactions for the trie
+    and in bitmap words for the vertical engine.  Candidate generation
+    and thresholding replicate [Apriori] exactly
+    ([Apriori.absolute_threshold], [Apriori.level1],
+    [Apriori.candidates_from]), and the mined output is byte-identical
+    across engines and job counts.
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
 val eclat_mine :

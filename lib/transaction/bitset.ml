@@ -43,24 +43,22 @@ let of_itemset ~width set =
     set;
   t
 
-(* 16-bit popcount table: 4-5 lookups per word. *)
-let popcount_table =
-  lazy
-    (let table = Bytes.create 65536 in
-     for i = 0 to 65535 do
-       let rec bits v = if v = 0 then 0 else (v land 1) + bits (v lsr 1) in
-       Bytes.unsafe_set table i (Char.chr (bits i))
-     done;
-     table)
+(* Branch-free SWAR popcount: no table, no lazy init, no loads — the
+   counting engines call this once per word of every intersection.  The
+   64-bit masks do not fit OCaml's 63-bit int literals, so each is built
+   from two 32-bit halves; the patterns (and the algorithm) remain correct
+   for any 63-bit word because [lsr] shifts in zeros and the top 7-bit
+   "byte" of the final multiply can hold counts up to 63. *)
+let m1 = (0x55555555 lsl 32) lor 0x55555555
+let m2 = (0x33333333 lsl 32) lor 0x33333333
+let m4 = (0x0F0F0F0F lsl 32) lor 0x0F0F0F0F
+let h01 = (0x01010101 lsl 32) lor 0x01010101
 
-let popcount word =
-  let table = Lazy.force popcount_table in
-  let count = ref 0 and v = ref word in
-  while !v <> 0 do
-    count := !count + Char.code (Bytes.unsafe_get table (!v land 0xFFFF));
-    v := !v lsr 16
-  done;
-  !count
+let popcount v =
+  let v = v - ((v lsr 1) land m1) in
+  let v = (v land m2) + ((v lsr 2) land m2) in
+  let v = (v + (v lsr 4)) land m4 in
+  (v * h01) lsr 56
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 

@@ -21,6 +21,20 @@ val add : int -> t -> t
 val remove : int -> t -> t
 val mem : int -> t -> bool
 
+val bits_per_word : int
+(** How many bits each word of the packed representation carries (62: all
+    word arithmetic stays inside OCaml's immediate ints). *)
+
+val words_for : int -> int
+(** How many words a packed set of the given width occupies:
+    [ceil (width / bits_per_word)] (0 for width 0). *)
+
+val popcount : int -> int
+(** Population count of a single word: branch-free SWAR, no table.
+    Correct for any value a 63-bit OCaml int can hold; the packed
+    representations here only ever store [bits_per_word]-bit words.
+    Shared with the vertical counting engine ({!Ppdm_mining.Vertical}). *)
+
 val cardinal : t -> int
 (** Population count. *)
 

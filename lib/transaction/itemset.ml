@@ -34,6 +34,7 @@ let of_list l = of_array (Array.of_list l)
 let of_sorted_array_unchecked arr = arr
 let to_list = Array.to_list
 let to_array = Array.copy
+let unsafe_to_array s = s
 let cardinal = Array.length
 
 let mem x s =

@@ -28,6 +28,12 @@ val to_list : t -> item list
 val to_array : t -> item array
 (** Fresh array, strictly increasing. *)
 
+val unsafe_to_array : t -> item array
+(** The underlying array itself, no copy.  Strictly read-only: mutating it
+    breaks every set operation silently.  For hot per-transaction loops
+    (trie walks, vertical loads) where {!to_array}'s defensive copy per
+    call dominates. *)
+
 val cardinal : t -> int
 val mem : item -> t -> bool
 val add : item -> t -> t

@@ -17,6 +17,7 @@ let () =
       ("ldp", Test_ldp.suite);
       ("stream", Test_stream.suite);
       ("bitset", Test_bitset.suite);
+      ("vertical", Test_vertical.suite);
       ("scheme_io", Test_scheme_io.suite);
       ("em", Test_em.suite);
       ("channel", Test_channel.suite);
