@@ -483,6 +483,77 @@ let b7 () =
   in
   run_benchmarks ~section:"b7" (Bechamel.Test.make_grouped ~name:"engines" tests)
 
+let b8 () =
+  header "B8  Ingest service: loopback throughput vs batch size and shard count";
+  (* A fixed pre-randomized dataset streamed over real loopback sockets by
+     two client domains; the clock covers connect, handshake, streaming,
+     the per-session sync barrier, and the final flushed fold.  The batch
+     knob trades folder wake-ups against latency; shards add folder
+     parallelism (each shard owns one accumulator and one domain). *)
+  let universe = 200 and size = 5 and count = 20_000 in
+  let scheme = Randomizer.uniform ~universe ~p_keep:0.7 ~p_add:0.02 in
+  let rng = Rng.create ~seed:31 () in
+  let db = Ppdm_datagen.Simple.fixed_size rng ~universe ~size ~count in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let itemsets = [ Itemset.of_list [ 0; 1 ]; Itemset.of_list [ 2 ] ] in
+  let clients = 2 in
+  let run ~shards ~batch =
+    let server =
+      Ppdm_server.Serve.start
+        {
+          (Ppdm_server.Serve.default_config ~scheme ~itemsets) with
+          jobs = clients;
+          shards;
+          batch;
+        }
+    in
+    let port = Ppdm_server.Serve.port server in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init clients (fun i ->
+          Domain.spawn (fun () ->
+              let c = Ppdm_server.Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Ppdm_server.Client.close c)
+                (fun () ->
+                  ignore
+                    (Ppdm_server.Client.handshake c ~scheme ~sizes:[ size ] ());
+                  let lo = i * count / clients
+                  and hi = (i + 1) * count / clients in
+                  for j = lo to hi - 1 do
+                    let sz, y = data.(j) in
+                    Ppdm_server.Client.report c ~size:sz y
+                  done;
+                  (* Round-trip: every report above reached the shard
+                     queues before this client counts itself done. *)
+                  ignore (Ppdm_server.Client.snapshot c ~flush:false))))
+    in
+    List.iter Domain.join domains;
+    ignore (Ppdm_server.Serve.snapshot_estimates server ~flush:true);
+    let dt = Unix.gettimeofday () -. t0 in
+    let stats = Ppdm_server.Serve.stop server in
+    (dt, stats.Ppdm_server.Serve.reports)
+  in
+  (* Warm-up run so domain spawning and allocation are off the clock. *)
+  ignore (run ~shards:1 ~batch:64);
+  Printf.printf "%-8s %-8s %-10s %-12s %s\n" "shards" "batch" "seconds"
+    "reports/s" "folded";
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun batch ->
+          let dt, folded = run ~shards ~batch in
+          let per_sec = float_of_int folded /. Float.max 1e-9 dt in
+          emit ~section:"b8"
+            ~name:(Printf.sprintf "ingest/shards=%d/batch=%d" shards batch)
+            ~jobs:shards
+            ~ns_per_op:(dt *. 1e9 /. float_of_int folded)
+            ~throughput:per_sec ();
+          Printf.printf "%-8d %-8d %-10.3f %-12.0f %d\n" shards batch dt
+            per_sec folded)
+        [ 1; 64; 1024 ])
+    [ 1; 2; 4 ]
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -493,7 +564,7 @@ let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
-    ("b6", b6); ("b7", b7) ]
+    ("b6", b6); ("b7", b7); ("b8", b8) ]
 
 (* Value of `--flag V` anywhere in argv, or None. *)
 let argv_opt flag =

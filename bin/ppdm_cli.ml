@@ -532,6 +532,179 @@ let selftest_cmd =
           failure.  Failures print a seed that replays them.")
     Term.(const run $ count $ seed_term $ stats_term $ trace_term)
 
+(* ------------------------------------------------------------- serve *)
+
+let port_term =
+  Arg.(value & opt int 7171 & info [ "port" ] ~doc:"TCP port on 127.0.0.1.")
+
+let serve_cmd =
+  let universe =
+    Arg.(value & opt int 1000 & info [ "universe" ] ~doc:"Item universe size.")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Ingest shards (one folder domain each).")
+  in
+  let batch =
+    Arg.(value & opt int 256 & info [ "batch" ] ~doc:"Max reports folded per batch.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "queue-capacity" ]
+          ~doc:"Per-shard queue bound; full queues stall sessions (backpressure).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Ppdm_server.Framing.default_max_frame
+      & info [ "max-frame" ] ~doc:"Frame payload cap in bytes.")
+  in
+  let itemsets =
+    Arg.(
+      value
+      & opt_all (list int) []
+      & info [ "itemset" ] ~docv:"ITEMS"
+          ~doc:"Track this comma-separated itemset (repeatable).")
+  in
+  let singletons =
+    Arg.(
+      value & opt int 0
+      & info [ "singletons" ] ~docv:"N"
+          ~doc:"Also track the first N singleton itemsets.")
+  in
+  let run port jobs shards batch queue_capacity max_frame spec universe itemsets
+      singletons stats trace =
+    with_obs stats trace @@ fun () ->
+    let scheme = scheme_of_spec ~universe spec in
+    let tracked =
+      let explicit = List.map Itemset.of_list itemsets in
+      let singles =
+        List.init (min singletons universe) (fun i -> Itemset.singleton i)
+      in
+      match explicit @ singles with
+      | [] -> List.init (min 5 universe) (fun i -> Itemset.singleton i)
+      | l -> l
+    in
+    let config =
+      {
+        (Ppdm_server.Serve.default_config ~scheme ~itemsets:tracked) with
+        port;
+        jobs = max 1 jobs;
+        shards;
+        batch;
+        queue_capacity;
+        max_frame;
+      }
+    in
+    let stats =
+      Ppdm_server.Serve.run config
+        ~ready:(fun port ->
+          Printf.printf
+            "ppdm serve: listening on 127.0.0.1:%d (operator %s, %d itemsets, \
+             jobs %d, shards %d, batch %d)\n\
+             %!"
+            port (Randomizer.name scheme) (List.length tracked) (max 1 jobs)
+            shards batch)
+    in
+    Printf.printf "ppdm serve: stopped after %d sessions, %d reports folded\n"
+      stats.Ppdm_server.Serve.sessions stats.Ppdm_server.Serve.reports
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the ingest service: accept randomized-transaction reports \
+          over loopback TCP (length-prefixed binary frames), fold them \
+          into sharded accumulators, and answer snapshot requests with \
+          live support estimates.  Stops when a client sends a shutdown \
+          frame.")
+    Term.(
+      const run $ port_term $ jobs_term $ shards $ batch $ queue_capacity
+      $ max_frame $ operator_term $ universe $ itemsets $ singletons
+      $ stats_term $ trace_term)
+
+(* -------------------------------------------------------------- load *)
+
+let load_cmd =
+  let universe =
+    Arg.(
+      value & opt int 1000
+      & info [ "universe" ] ~doc:"Item universe size (must match the server).")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Concurrent reporting connections.")
+  in
+  let count =
+    Arg.(value & opt int 10000 & info [ "count" ] ~doc:"Transactions to generate and report.")
+  in
+  let size =
+    Arg.(value & opt int 5 & info [ "size" ] ~doc:"Transaction size.")
+  in
+  let do_shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown frame once done (stops the server).")
+  in
+  let run port clients count size spec universe seed do_shutdown stats trace =
+    if clients < 1 then begin
+      prerr_endline "load: clients < 1";
+      exit 2
+    end;
+    let ok =
+      with_obs stats trace @@ fun () ->
+      let scheme = scheme_of_spec ~universe spec in
+      let rng = Rng.create ~seed () in
+      let db = Simple.fixed_size rng ~universe ~size ~count in
+      let data = Randomizer.apply_db_tagged scheme rng db in
+      (* One domain per client, each owning a contiguous slice and its
+         whole connection lifecycle.  A server runs at most [jobs]
+         sessions at once, so surplus clients wait for a free worker —
+         progress needs every client to eventually disconnect on its own,
+         which is why the connections must not be driven in lockstep from
+         one thread. *)
+      let slice i =
+        let lo = i * count / clients and hi = (i + 1) * count / clients in
+        Array.sub data lo (hi - lo)
+      in
+      let drive part () =
+        let c = Ppdm_server.Client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Ppdm_server.Client.close c)
+          (fun () ->
+            ignore (Ppdm_server.Client.handshake c ~scheme ~sizes:[ size ] ());
+            Array.iter
+              (fun (sz, y) -> Ppdm_server.Client.report c ~size:sz y)
+              part;
+            (* A snapshot round-trip is a sync barrier: the server handles
+               a session's frames in order, so replying proves every
+               report above has been routed into the shard queues. *)
+            ignore (Ppdm_server.Client.snapshot c ~flush:false))
+      in
+      Array.init clients (fun i -> Domain.spawn (drive (slice i)))
+      |> Array.iter Domain.join;
+      let ctl = Ppdm_server.Client.connect ~port () in
+      ignore (Ppdm_server.Client.handshake ctl ~sizes:[] ());
+      let json = Ppdm_server.Client.snapshot ctl ~flush:true in
+      let parsed = Ppdm_obs.Json.parse json in
+      (match parsed with
+      | Ok _ -> print_endline json
+      | Error e -> Printf.eprintf "load: snapshot JSON does not parse: %s\n" e);
+      if do_shutdown then Ppdm_server.Client.shutdown ctl;
+      Ppdm_server.Client.close ctl;
+      Result.is_ok parsed
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Load-generate against a running ppdm serve: randomize a \
+          synthetic database client-side, stream the reports over \
+          loopback connections, then print the server's flushed snapshot \
+          JSON (exits non-zero if it does not parse).")
+    Term.(
+      const run $ port_term $ clients $ count $ size $ operator_term
+      $ universe $ seed_term $ do_shutdown $ stats_term $ trace_term)
+
 (* ------------------------------------------------------------ bench-diff *)
 
 let bench_diff_cmd =
@@ -605,6 +778,7 @@ let main =
     (Cmd.info "ppdm" ~version:"1.0.0"
        ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
     [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd;
-      stats_cmd; experiment_cmd; selftest_cmd; bench_diff_cmd ]
+      stats_cmd; experiment_cmd; serve_cmd; load_cmd; selftest_cmd;
+      bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,23 +1,21 @@
 (* Streaming collection: the deployment shape of the randomization
-   protocol.
+   protocol, on a real socket.
 
    Clients randomize locally and report one transaction at a time; the
    server never stores the stream — it folds each report into O(k) sized
    accumulators (one per tracked itemset) and can publish support
-   estimates with error bars at any moment.  This example simulates 30k
-   client reports arriving in batches and prints the live estimates, then
-   scales the aggregation out: the stream is fanned across a pool of
-   domains (one accumulator per shard, as if each were its own ingest
-   server) and the merged statistic is bit-identical to the single-server
-   fold.
+   estimates with error bars at any moment.  This example starts the
+   actual ingest service ([Ppdm_server.Serve]) on a loopback TCP port,
+   streams 30k randomized reports over three concurrent client
+   connections speaking the length-prefixed binary protocol, pulls a live
+   snapshot over the wire, and then verifies the headline guarantee
+   in-process: the sharded, concurrently-ingested statistic is
+   bit-identical to a single sequential fold of the same reports.
 
-   The run is instrumented with ppdm_obs: ingest is wrapped in a span,
-   the metrics report lands on stderr, and tracing runs in
-   snapshot-and-rotate mode — at every checkpoint the timeline collected
-   since the previous one is written to a fresh trace file and the rings
-   are cleared, the way a long-lived server keeps traces bounded while
-   never losing the current window.  So the example doubles as a demo of
-   the observability layer.
+   The run is instrumented with ppdm_obs: ingest counters, queue-depth
+   gauges, and batch-size histograms land in the metrics report on
+   stderr; the session/fold timeline goes to a trace file — so the
+   example doubles as a demo of the observability layer.
 
    Run with:  dune exec examples/streaming_server.exe *)
 
@@ -25,24 +23,7 @@ open Ppdm_prng
 open Ppdm_data
 open Ppdm_datagen
 open Ppdm
-open Ppdm_runtime
-
-(* Snapshot-and-rotate: dump the timeline gathered since the last call
-   into the next numbered trace file and clear the rings.  A server calls
-   this on a timer; here the stream checkpoints stand in for the timer. *)
-let rotate_trace =
-  let generation = ref 0 in
-  let dir =
-    let d = Filename.concat (Filename.get_temp_dir_name ()) "ppdm_traces" in
-    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    d
-  in
-  fun () ->
-    incr generation;
-    let path = Filename.concat dir (Printf.sprintf "ingest-%03d.json" !generation) in
-    Ppdm_obs.Trace.write_file path;
-    Ppdm_obs.Trace.reset ();
-    Printf.eprintf "trace rotated: %s\n" path
+open Ppdm_server
 
 let () =
   Ppdm_obs.Metrics.set_enabled true;
@@ -62,44 +43,75 @@ let () =
     Randomizer.select_a_size ~universe ~size ~keep_dist:design.Optimizer.dist
       ~rho:design.Optimizer.rho
   in
+  (* what the clients send: randomized transactions, tagged with their
+     (public) original size *)
   let stream = Randomizer.apply_db_tagged scheme rng db in
 
-  (* one accumulator per itemset of interest *)
-  let acc_hot = Stream.create ~scheme ~itemset:hot in
-  let acc_cold = Stream.create ~scheme ~itemset:cold in
-  let checkpoint n =
-    let report acc =
-      let e = Stream.estimate acc in
-      Printf.sprintf "%s %.4f±%.4f" (Itemset.to_string (Stream.itemset acc))
-        e.Estimator.support e.Estimator.sigma
-    in
-    Printf.printf "after %6d reports: %s | %s\n" n (report acc_hot) (report acc_cold);
-    rotate_trace ()
+  (* the server: 2 session workers, 2 ingest shards, batched folds *)
+  let server =
+    Serve.start
+      {
+        (Serve.default_config ~scheme ~itemsets:[ hot; cold ]) with
+        jobs = 2;
+        shards = 2;
+        batch = 128;
+      }
   in
-  Ppdm_obs.Span.with_ ~name:"ingest" (fun () ->
-      Array.iteri
-        (fun i (size, y) ->
-          Stream.observe acc_hot ~size y;
-          Stream.observe acc_cold ~size y;
-          let seen = i + 1 in
-          if seen = 1000 || seen = 5000 || seen = count then checkpoint seen)
-        stream);
+  let port = Serve.port server in
+  Printf.printf "ingest server listening on 127.0.0.1:%d\n" port;
 
-  (* scale-out: shard the stream across a domain pool — each shard is an
-     independent ingest server with its own accumulator; Stream.merge
-     folds them back into exactly the single-server statistic *)
-  let jobs = 4 in
-  let fanned =
-    Pool.with_pool ~jobs (fun pool ->
-        Parallel.observe_all pool ~scheme ~itemset:hot stream)
+  (* three concurrent clients, each streaming a contiguous slice of the
+     reports over its own connection *)
+  let clients = 3 in
+  let slice i =
+    let lo = i * count / clients and hi = (i + 1) * count / clients in
+    Array.sub stream lo (hi - lo)
   in
-  let merged = Stream.estimate fanned and whole = Stream.estimate acc_hot in
-  Printf.printf "%d-server merge check: %.6f = %.6f -> %b (%d reports)\n" jobs
-    merged.Estimator.support whole.Estimator.support
-    (merged.Estimator.support = whole.Estimator.support)
-    (Stream.observed fanned);
+  let drive part () =
+    let c = Client.connect ~port () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        ignore (Client.handshake c ~scheme ~sizes:[ size ] ());
+        Array.iter (fun (sz, y) -> Client.report c ~size:sz y) part;
+        (* snapshot round-trip = sync barrier: the reply proves every
+           report above reached the shard queues *)
+        ignore (Client.snapshot c ~flush:false))
+  in
+  Array.init clients (fun i -> Domain.spawn (drive (slice i)))
+  |> Array.iter Domain.join;
 
-  (* final rotation captures the fan-out's pool timeline, then the
-     metrics report goes to stderr, keeping stdout clean *)
-  rotate_trace ();
+  (* a live estimate over the wire, exactly as an external client sees it *)
+  let ctl = Client.connect ~port () in
+  ignore (Client.handshake ctl ~sizes:[] ());
+  Printf.printf "wire snapshot: %s\n" (Client.snapshot ctl ~flush:true);
+
+  (* the headline check, in-process: sharded concurrent ingest equals one
+     sequential fold of the same reports, bit for bit *)
+  let served =
+    match Serve.snapshot_estimates server ~flush:true with
+    | (_, Some e) :: _ -> e
+    | _ -> failwith "no estimate for the hot itemset"
+  in
+  let seq = Stream.create ~scheme ~itemset:hot in
+  Array.iter (fun (sz, y) -> Stream.observe seq ~size:sz y) stream;
+  let whole = Stream.estimate seq in
+  Printf.printf "shard merge check: %.6f = %.6f -> %b (%d reports)\n"
+    served.Estimator.support whole.Estimator.support
+    (served.Estimator.support = whole.Estimator.support)
+    served.Estimator.n_transactions;
+
+  (* a client-initiated shutdown stops the accept loop and drains *)
+  Client.shutdown ctl;
+  Client.close ctl;
+  let stats = Serve.wait server in
+  Printf.printf "server stopped: %d sessions, %d reports folded\n"
+    stats.Serve.sessions stats.Serve.reports;
+
+  (* timeline to a file, metrics report to stderr — stdout stays clean *)
+  let trace_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "ppdm-ingest-trace.json"
+  in
+  Ppdm_obs.Trace.write_file trace_path;
+  Printf.eprintf "trace written: %s\n" trace_path;
   prerr_string (Ppdm_obs.Report.to_string Ppdm_obs.Report.Human)

@@ -104,6 +104,165 @@ let io_truncated_header_rejected () =
       | exception e ->
           Error ("undocumented exception: " ^ Printexc.to_string e))
 
+(* ------------------------------------------------ server-layer scenarios *)
+
+module Serve = Ppdm_server.Serve
+module Sclient = Ppdm_server.Client
+module Wire = Ppdm_server.Wire
+module Framing = Ppdm_server.Framing
+
+open Ppdm
+
+(* Every scenario runs against a real server on an ephemeral loopback
+   port; the fault is injected as raw bytes on the socket, and the
+   recovery assertion is always the same — a fresh session still gets a
+   snapshot, i.e. a misbehaving client took down nothing but itself. *)
+let server_scheme = Randomizer.uniform ~universe:16 ~p_keep:0.7 ~p_add:0.05
+
+let with_server f =
+  let server =
+    Serve.start
+      {
+        (Serve.default_config ~scheme:server_scheme
+           ~itemsets:[ Itemset.of_list [ 0; 1 ]; Itemset.of_list [ 2 ] ])
+        with
+        jobs = 2;
+        shards = 2;
+        batch = 8;
+      }
+  in
+  Fun.protect ~finally:(fun () -> ignore (Serve.stop server)) (fun () -> f server)
+
+let with_client server f =
+  let c = Sclient.connect ~port:(Serve.port server) () in
+  Fun.protect ~finally:(fun () -> Sclient.close c) (fun () -> f c)
+
+let still_serving server =
+  with_client server (fun c ->
+      ignore (Sclient.handshake c ~sizes:[] ());
+      let json = Sclient.snapshot c ~flush:false in
+      if String.length json > 0 && json.[0] = '{' then Ok ()
+      else Error "snapshot after the fault is not a JSON object")
+
+let header_declaring n =
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  header
+
+let server_oversized_frame_rejected () =
+  with_server (fun server ->
+      let reply =
+        with_client server (fun c ->
+            ignore (Sclient.handshake c ~sizes:[] ());
+            Sclient.send_raw c (header_declaring (Framing.default_max_frame + 1));
+            Sclient.read c)
+      in
+      match reply with
+      | Ok (Wire.Error { code = Wire.Frame_too_large; _ }) -> still_serving server
+      | Ok m ->
+          Error ("expected a frame-too-large error, got " ^ Wire.message_name m)
+      | Error e -> Error ("expected a frame-too-large error, got " ^ e))
+
+let server_malformed_length_rejected () =
+  with_server (fun server ->
+      let reply =
+        with_client server (fun c ->
+            ignore (Sclient.handshake c ~sizes:[] ());
+            Sclient.send_raw c (header_declaring 0);
+            Sclient.read c)
+      in
+      match reply with
+      | Ok (Wire.Error { code = Wire.Bad_frame; _ }) -> still_serving server
+      | Ok m -> Error ("expected a bad-frame error, got " ^ Wire.message_name m)
+      | Error e -> Error ("expected a bad-frame error, got " ^ e))
+
+let server_truncated_frame_tolerated () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          ignore (Sclient.handshake c ~sizes:[] ());
+          (* declare 64 payload bytes, deliver 6, vanish *)
+          let raw = Bytes.make 10 '\x00' in
+          Bytes.blit (header_declaring 64) 0 raw 0 4;
+          Sclient.send_raw c raw);
+      still_serving server)
+
+(* Poll until the shards have folded [expected] reports: a disconnect
+   leaves the last reports still in the socket buffer and shard queues,
+   so ingestion completes eventually rather than synchronously. *)
+let rec eventually_folded server ~expected ~tries =
+  match Serve.snapshot_estimates server ~flush:true with
+  | (_, Some e) :: _ when e.Estimator.n_transactions = expected -> Ok ()
+  | _ when tries = 0 ->
+      Error
+        (Printf.sprintf "reports lost after disconnect: expected %d folded"
+           expected)
+  | _ ->
+      Unix.sleepf 0.02;
+      eventually_folded server ~expected ~tries:(tries - 1)
+
+let server_mid_session_disconnect () =
+  with_server (fun server ->
+      let sent = 5 in
+      with_client server (fun c ->
+          ignore (Sclient.handshake c ~scheme:server_scheme ~sizes:[ 3 ] ());
+          for _ = 1 to sent do
+            Sclient.report c ~size:3 (Itemset.of_list [ 0; 1; 2 ])
+          done);
+      (* the abrupt close must lose no report already on the wire, and
+         must leave the server serving *)
+      match eventually_folded server ~expected:sent ~tries:150 with
+      | Error _ as e -> e
+      | Ok () -> still_serving server)
+
+let server_scheme_mismatch_rejected () =
+  with_server (fun server ->
+      let other = Randomizer.uniform ~universe:16 ~p_keep:0.3 ~p_add:0.2 in
+      let verdict =
+        with_client server (fun c ->
+            match Sclient.handshake c ~scheme:other ~sizes:[ 3 ] () with
+            | _ -> Error "a mismatched scheme was welcomed"
+            | exception Sclient.Server_error (Wire.Scheme_mismatch, _) -> Ok ()
+            | exception e ->
+                Error ("expected a scheme-mismatch error, got " ^ Printexc.to_string e))
+      in
+      match verdict with Error _ as e -> e | Ok () -> still_serving server)
+
+let server_invalid_reports_rejected () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          ignore (Sclient.handshake c ~scheme:server_scheme ~sizes:[ 2 ] ());
+          (* item outside the universe: typed error, session continues *)
+          Sclient.report c ~size:2 (Itemset.of_list [ 0; 99 ]);
+          match Sclient.read c with
+          | Ok (Wire.Error { code = Wire.Item_out_of_universe; _ }) -> (
+              (* size outside the handshake: same deal *)
+              Sclient.report c ~size:5 (Itemset.of_list [ 0; 1 ]);
+              match Sclient.read c with
+              | Ok (Wire.Error { code = Wire.Size_not_covered; _ }) -> (
+                  (* and a valid report on the same session still lands *)
+                  Sclient.report c ~size:2 (Itemset.of_list [ 0; 1 ]);
+                  ignore (Sclient.snapshot c ~flush:true);
+                  match Serve.snapshot_estimates server ~flush:true with
+                  | (_, Some e) :: _ when e.Estimator.n_transactions = 1 ->
+                      Ok ()
+                  | (_, Some e) :: _ ->
+                      Error
+                        (Printf.sprintf
+                           "expected exactly the 1 valid report folded, got %d"
+                           e.Estimator.n_transactions)
+                  | _ -> Error "no estimate after a valid report")
+              | Ok m ->
+                  Error
+                    ("expected a size-not-covered error, got "
+                    ^ Wire.message_name m)
+              | Error e -> Error ("expected a size-not-covered error, got " ^ e))
+          | Ok m ->
+              Error
+                ("expected an item-out-of-universe error, got "
+                ^ Wire.message_name m)
+          | Error e ->
+              Error ("expected an item-out-of-universe error, got " ^ e)))
+
 let io_fimi_truncation_is_silent () =
   let db =
     Db.create ~universe:6

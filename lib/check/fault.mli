@@ -32,3 +32,36 @@ val io_fimi_truncation_is_silent : unit -> (unit, string) result
 (** The FIMI format declares no count, so truncation yields a shorter
     database with no error — asserted here to document the asymmetry the
     header format exists to close. *)
+
+(** {1 Server scenarios}
+
+    Each starts a real {!Ppdm_server.Serve} on an ephemeral loopback
+    port, injects the fault as raw bytes on a client socket, and asserts
+    the wire contract: the documented typed [Error] frame (or none, for
+    a peer that vanishes), no lost valid reports, and — always — that a
+    fresh session still gets a snapshot afterwards.  A misbehaving
+    client takes down nothing but itself. *)
+
+val server_oversized_frame_rejected : unit -> (unit, string) result
+(** A frame header declaring more than the cap earns [Frame_too_large]
+    and ends the session; the server keeps serving. *)
+
+val server_malformed_length_rejected : unit -> (unit, string) result
+(** A declared length of zero earns [Bad_frame]. *)
+
+val server_truncated_frame_tolerated : unit -> (unit, string) result
+(** A client that dies mid-frame is dropped silently (nothing to answer);
+    the server keeps serving. *)
+
+val server_mid_session_disconnect : unit -> (unit, string) result
+(** Valid reports followed by an abrupt close: every report already on
+    the wire is eventually folded, none double-counted. *)
+
+val server_scheme_mismatch_rejected : unit -> (unit, string) result
+(** A hello whose operator parameters differ from the server's earns
+    [Scheme_mismatch] at handshake time. *)
+
+val server_invalid_reports_rejected : unit -> (unit, string) result
+(** An out-of-universe item and a size outside the handshake each earn
+    their typed error while the session {e continues}; a subsequent
+    valid report still lands, exactly once. *)

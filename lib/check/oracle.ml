@@ -209,3 +209,68 @@ let brute_force_support_estimate ~scheme ~data ~itemset =
   in
   let x = solve_gaussian a frac in
   x.(k)
+
+(* ------------------------------------------------------- server oracle *)
+
+let server_matches_sequential ~jobs ~shards ~clients ~scheme ~itemsets ~data =
+  if clients < 1 then invalid_arg "Oracle.server_matches_sequential: clients < 1";
+  let module Serve = Ppdm_server.Serve in
+  let module Client = Ppdm_server.Client in
+  let server =
+    Serve.start
+      { (Serve.default_config ~scheme ~itemsets) with jobs; shards; batch = 32 }
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.stop server))
+    (fun () ->
+      let port = Serve.port server in
+      let count = Array.length data in
+      let sizes =
+        List.sort_uniq compare (Array.to_list (Array.map fst data))
+      in
+      let slice i =
+        let lo = i * count / clients and hi = (i + 1) * count / clients in
+        Array.sub data lo (hi - lo)
+      in
+      let drive part () =
+        let c = Client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            ignore (Client.handshake c ~scheme ~sizes ());
+            Array.iter (fun (sz, y) -> Client.report c ~size:sz y) part;
+            (* sync barrier: the snapshot reply proves every report above
+               reached the shard queues *)
+            ignore (Client.snapshot c ~flush:false))
+      in
+      Array.init clients (fun i -> Domain.spawn (drive (slice i)))
+      |> Array.iter Domain.join;
+      let served = Serve.snapshot_estimates server ~flush:true in
+      let rec check = function
+        | [] -> Ok ()
+        | (itemset, est) :: rest -> (
+            let acc = Stream.create ~scheme ~itemset in
+            Array.iter (fun (sz, y) -> Stream.observe acc ~size:sz y) data;
+            match est with
+            | None when Stream.observed acc = 0 -> check rest
+            | None -> Error (Itemset.to_string itemset ^ ": server served no estimate")
+            | Some _ when Stream.observed acc = 0 ->
+                Error (Itemset.to_string itemset ^ ": estimate out of nothing")
+            | Some e ->
+                let e' = Stream.estimate acc in
+                if
+                  e.Estimator.n_transactions = e'.Estimator.n_transactions
+                  && e.Estimator.support = e'.Estimator.support
+                  && e.Estimator.sigma = e'.Estimator.sigma
+                then check rest
+                else
+                  Error
+                    (Printf.sprintf
+                       "%s: served %.17g+-%.17g over %d but sequential fold \
+                        gives %.17g+-%.17g over %d (jobs %d, shards %d)"
+                       (Itemset.to_string itemset) e.Estimator.support
+                       e.Estimator.sigma e.Estimator.n_transactions
+                       e'.Estimator.support e'.Estimator.sigma
+                       e'.Estimator.n_transactions jobs shards))
+      in
+      check served)

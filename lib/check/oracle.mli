@@ -55,6 +55,24 @@ val padding_noop :
 (** Growing the universe by [pad] items that occur in no transaction
     leaves the mined collection untouched. *)
 
+(** {1 Server vs sequential} *)
+
+val server_matches_sequential :
+  jobs:int ->
+  shards:int ->
+  clients:int ->
+  scheme:Randomizer.t ->
+  itemsets:Itemset.t list ->
+  data:(int * Itemset.t) array ->
+  (unit, string) result
+(** Start a real {!Ppdm_server.Serve} on an ephemeral loopback port with
+    [jobs] session workers and [shards] ingest shards, stream [data] over
+    [clients] concurrent wire connections, and compare the server's
+    flushed estimates against one sequential {!Ppdm.Stream} fold of the
+    same reports — support, sigma, and observation count must be equal
+    {e bit for bit}, at any job and shard count (the sufficient statistic
+    is a sum of integer histograms, so sharding must commute). *)
+
 (** {1 Estimator reference} *)
 
 val brute_force_support_estimate :

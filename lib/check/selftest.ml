@@ -295,6 +295,43 @@ let run ?count ?(seed = 42) ?(log = ignore) () =
               Fault.io_truncated_header_rejected ());
           ("fault: FIMI truncation silent (documented asymmetry)", fun () ->
               Fault.io_fimi_truncation_is_silent ());
+          ( "differential: loopback server equals sequential fold at jobs \
+             1/2/4",
+            fun () ->
+              let rng = Rng.create ~seed:(seed + 17) () in
+              let db =
+                Db.create ~universe:12
+                  (Array.init 150 (fun i ->
+                       Itemset.of_list [ i mod 12; ((i * 7) + 3) mod 12 ]))
+              in
+              let scheme =
+                Randomizer.uniform ~universe:12 ~p_keep:0.75 ~p_add:0.08
+              in
+              let data = Randomizer.apply_db_tagged scheme rng db in
+              let itemsets = [ Itemset.of_list [ 0; 1 ]; Itemset.of_list [ 3 ] ] in
+              let rec configs = function
+                | [] -> Ok ()
+                | (jobs, shards) :: rest -> (
+                    match
+                      Oracle.server_matches_sequential ~jobs ~shards ~clients:3
+                        ~scheme ~itemsets ~data
+                    with
+                    | Error _ as e -> e
+                    | Ok () -> configs rest)
+              in
+              configs [ (1, 1); (2, 2); (4, 3) ] );
+          ("fault: server rejects oversized frame, keeps serving", fun () ->
+              Fault.server_oversized_frame_rejected ());
+          ("fault: server rejects malformed frame length", fun () ->
+              Fault.server_malformed_length_rejected ());
+          ("fault: server tolerates truncated frame", fun () ->
+              Fault.server_truncated_frame_tolerated ());
+          ("fault: server survives mid-session disconnect, loses nothing",
+            fun () -> Fault.server_mid_session_disconnect ());
+          ("fault: server rejects scheme mismatch at handshake", fun () ->
+              Fault.server_scheme_mismatch_rejected ());
+          ("fault: server rejects invalid reports, session continues",
+            fun () -> Fault.server_invalid_reports_rejected ());
         ]
         @ fuzz_roundtrip_checks ~seed ~count
       in

@@ -1,15 +1,27 @@
-let write_channel oc scheme ~sizes =
+let write_lines ~out scheme ~sizes =
   let sizes = List.sort_uniq compare sizes in
-  Printf.fprintf oc "ppdm-scheme 1\n";
-  Printf.fprintf oc "universe %d\n" (Randomizer.universe scheme);
-  Printf.fprintf oc "name %s\n" (Randomizer.name scheme);
+  out (Printf.sprintf "ppdm-scheme 1\n");
+  out (Printf.sprintf "universe %d\n" (Randomizer.universe scheme));
+  out (Printf.sprintf "name %s\n" (Randomizer.name scheme));
   List.iter
     (fun size ->
       let r = Randomizer.resolve scheme ~size in
-      Printf.fprintf oc "size %d rho %.17g keep" size r.Randomizer.rho;
-      Array.iter (fun p -> Printf.fprintf oc " %.17g" p) r.Randomizer.keep_dist;
-      output_char oc '\n')
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (Printf.sprintf "size %d rho %.17g keep" size r.Randomizer.rho);
+      Array.iter
+        (fun p -> Buffer.add_string buf (Printf.sprintf " %.17g" p))
+        r.Randomizer.keep_dist;
+      Buffer.add_char buf '\n';
+      out (Buffer.contents buf))
     sizes
+
+let write_channel oc scheme ~sizes =
+  write_lines ~out:(output_string oc) scheme ~sizes
+
+let to_string scheme ~sizes =
+  let buf = Buffer.create 256 in
+  write_lines ~out:(Buffer.add_string buf) scheme ~sizes;
+  Buffer.contents buf
 
 let write_file path scheme ~sizes =
   let oc = open_out path in
@@ -19,8 +31,10 @@ let write_file path scheme ~sizes =
 
 let fail fmt = Printf.ksprintf failwith fmt
 
-let read_channel ic =
-  let line () = try Some (input_line ic) with End_of_file -> None in
+(* The parser is written against a line source so the channel reader and
+   the string reader (the wire handshake carries a scheme in-band) share
+   one code path. *)
+let read_lines line =
   (match line () with
   | Some "ppdm-scheme 1" -> ()
   | _ -> fail "Scheme_io.read: bad magic");
@@ -74,6 +88,18 @@ let read_channel ic =
           invalid_arg
             (Printf.sprintf
                "Scheme_io: deserialized scheme has no operator for size %d" size))
+
+let read_channel ic =
+  read_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  read_lines (fun () ->
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+          lines := rest;
+          Some l)
 
 let read_file path =
   let ic = open_in path in

@@ -28,6 +28,15 @@ val read_channel : in_channel -> Randomizer.t
 
 val read_file : string -> Randomizer.t
 
+val to_string : Randomizer.t -> sizes:int list -> string
+(** The serialized form as a string — the in-band representation the
+    network handshake sends ({!Ppdm_server.Wire.Hello} carries one), byte
+    identical to what {!write_channel} emits. *)
+
+val of_string : string -> Randomizer.t
+(** Parse a scheme from its serialized string form.  Same grammar and
+    errors as {!read_channel}. *)
+
 val sizes_of_db : Ppdm_data.Db.t -> int list
 (** The distinct transaction sizes of a database, ascending — the size
     list to serialize a scheme against before randomizing that data. *)

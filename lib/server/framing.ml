@@ -1,0 +1,59 @@
+type read_error =
+  | Closed
+  | Truncated of { expected : int; got : int }
+  | Bad_length of int
+  | Too_large of { declared : int; limit : int }
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated frame: %d of %d byte(s)" got expected
+  | Bad_length n -> Printf.sprintf "bad frame length %d" n
+  | Too_large { declared; limit } ->
+      Printf.sprintf "frame length %d exceeds cap %d" declared limit
+
+let default_max_frame = 1 lsl 20
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write fd payload =
+  let len = Bytes.length payload in
+  if len = 0 then invalid_arg "Framing.write: empty payload";
+  if len > 0x7FFFFFFF then invalid_arg "Framing.write: payload too long";
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  write_all fd header 0 4;
+  write_all fd payload 0 len
+
+(* Read exactly [len] bytes; [Ok ()] or how many actually arrived before
+   EOF.  [Unix.read] returning 0 is the EOF signal on sockets. *)
+let read_exact fd b len =
+  let rec go pos =
+    if pos = len then Ok ()
+    else
+      match Unix.read fd b pos (len - pos) with
+      | 0 -> Error pos
+      | n -> go (pos + n)
+  in
+  go 0
+
+let read ?(max_frame = default_max_frame) fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | Error 0 -> Error Closed
+  | Error got -> Error (Truncated { expected = 4; got })
+  | Ok () ->
+      let declared = Int32.to_int (Bytes.get_int32_be header 0) in
+      if declared <= 0 then Error (Bad_length declared)
+      else if declared > max_frame then
+        Error (Too_large { declared; limit = max_frame })
+      else begin
+        let payload = Bytes.create declared in
+        match read_exact fd payload declared with
+        | Ok () -> Ok payload
+        | Error got -> Error (Truncated { expected = declared; got })
+      end

@@ -1,0 +1,36 @@
+(** Length-prefixed binary framing over a file descriptor.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    payload bytes (the payload being one {!Wire} message).  The reader is
+    strict: a declared length of zero, a negative length (a garbage
+    prefix with the high bit set), or a length beyond the configured cap
+    is a typed error — never an attempt to allocate or read the declared
+    amount — and end-of-stream inside a frame is distinguished from a
+    clean close at a frame boundary, so a truncated frame can be rejected
+    rather than silently dropped. *)
+
+type read_error =
+  | Closed  (** clean EOF at a frame boundary *)
+  | Truncated of { expected : int; got : int }
+      (** the peer closed mid-frame: [got] of [expected] bytes arrived *)
+  | Bad_length of int  (** declared payload length is zero or negative *)
+  | Too_large of { declared : int; limit : int }
+      (** declared payload length exceeds the cap; nothing was read past
+          the header, so the stream is unusable afterwards *)
+
+val read_error_to_string : read_error -> string
+
+val default_max_frame : int
+(** Default payload cap: 1 MiB.  Big enough for any handshake or
+    snapshot; small enough that a malicious length cannot balloon
+    memory. *)
+
+val write : Unix.file_descr -> Bytes.t -> unit
+(** Write one frame (header + payload), looping over partial writes.
+    @raise Invalid_argument if the payload is empty or longer than
+    [2^31 - 1] bytes.
+    @raise Unix.Unix_error as the descriptor does (e.g. [EPIPE]). *)
+
+val read : ?max_frame:int -> Unix.file_descr -> (Bytes.t, read_error) result
+(** Read one frame payload, looping over partial reads.
+    @raise Unix.Unix_error on descriptor errors other than EOF. *)

@@ -1,0 +1,259 @@
+open Ppdm_data
+open Ppdm
+open Ppdm_runtime
+
+type config = {
+  port : int;
+  jobs : int;
+  shards : int;
+  batch : int;
+  linger_ns : int;
+  queue_capacity : int;
+  max_frame : int;
+  scheme : Randomizer.t;
+  itemsets : Itemset.t list;
+}
+
+let default_config ~scheme ~itemsets =
+  {
+    port = 0;
+    jobs = 2;
+    shards = 2;
+    batch = 256;
+    linger_ns = 0;
+    queue_capacity = 4096;
+    max_frame = Framing.default_max_frame;
+    scheme;
+    itemsets;
+  }
+
+type stats = { reports : int; sessions : int }
+
+(* State shared between the server domains and the controlling one. *)
+type shared = {
+  config : config;
+  shards : Shard.t array;
+  (* A scheme is a lazily-populated per-size cache (a plain Hashtbl), so
+     every resolving operation — the handshake's [same_parameters], the
+     snapshot's merge + estimate — serializes through this lock.  Folding
+     ([Stream.observe]) never resolves and runs lock-free. *)
+  scheme_lock : Mutex.t;
+  stop : bool Atomic.t;
+  sessions : int Atomic.t;
+}
+
+let validate config =
+  if config.jobs < 1 then invalid_arg "Serve: jobs < 1";
+  if config.shards < 1 then invalid_arg "Serve: shards < 1";
+  if config.batch < 1 then invalid_arg "Serve: batch < 1";
+  if config.linger_ns < 0 then invalid_arg "Serve: negative linger";
+  if config.queue_capacity < 1 then invalid_arg "Serve: queue capacity < 1";
+  if config.max_frame < 16 then invalid_arg "Serve: max_frame < 16";
+  if config.itemsets = [] then invalid_arg "Serve: no tracked itemsets"
+
+let make_shared config =
+  {
+    config;
+    shards =
+      Array.init config.shards (fun _ ->
+          Shard.create ~scheme:config.scheme ~itemsets:config.itemsets
+            ~capacity:config.queue_capacity);
+    scheme_lock = Mutex.create ();
+    stop = Atomic.make false;
+    sessions = Atomic.make 0;
+  }
+
+(* ------------------------------------------------------------ snapshots *)
+
+let shared_estimates sh ~flush =
+  if flush then Array.iter Shard.quiesce sh.shards;
+  Mutex.lock sh.scheme_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.scheme_lock)
+    (fun () ->
+      (* Per-shard copies are atomic w.r.t. batch folds; merging the
+         copies sums integer histograms, so the result equals a
+         sequential fold of the same reports regardless of how sessions
+         and shards interleaved. *)
+      let copies = Array.map Shard.snapshot sh.shards in
+      List.mapi
+        (fun i itemset ->
+          let per_shard =
+            Array.to_list (Array.map (fun streams -> List.nth streams i) copies)
+          in
+          let merged = Stream.merge per_shard in
+          if Stream.observed merged = 0 then (itemset, None)
+          else (itemset, Some (Stream.estimate merged)))
+        sh.config.itemsets)
+
+let shared_folded sh =
+  Array.fold_left (fun acc shard -> acc + Shard.folded shard) 0 sh.shards
+
+let float_or_null f =
+  if Float.is_finite f then Ppdm_obs.Json.Float f else Ppdm_obs.Json.Null
+
+let shared_snapshot_json sh ~flush =
+  let estimates = shared_estimates sh ~flush in
+  let itemset_json (itemset, est) =
+    let items =
+      Ppdm_obs.Json.List
+        (List.map (fun i -> Ppdm_obs.Json.Int i) (Itemset.to_list itemset))
+    in
+    let fields =
+      match est with
+      | None -> [ ("items", items); ("observed", Ppdm_obs.Json.Int 0) ]
+      | Some e ->
+          [
+            ("items", items);
+            ("observed", Ppdm_obs.Json.Int e.Estimator.n_transactions);
+            ("support", float_or_null e.Estimator.support);
+            ("sigma", float_or_null e.Estimator.sigma);
+          ]
+    in
+    Ppdm_obs.Json.Obj fields
+  in
+  Ppdm_obs.Json.to_string
+    (Ppdm_obs.Json.Obj
+       [
+         ("universe", Ppdm_obs.Json.Int (Randomizer.universe sh.config.scheme));
+         ("reports", Ppdm_obs.Json.Int (shared_folded sh));
+         ("itemsets", Ppdm_obs.Json.List (List.map itemset_json estimates));
+       ])
+
+(* ------------------------------------------------------------- sockets *)
+
+let bind_listener config =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt listener Unix.SO_REUSEADDR true;
+    Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+    Unix.listen listener 64;
+    Unix.getsockname listener
+  with
+  | Unix.ADDR_INET (_, port) -> (listener, port)
+  | Unix.ADDR_UNIX _ ->
+      Unix.close listener;
+      invalid_arg "Serve: unexpected socket family"
+  | exception e ->
+      Unix.close listener;
+      raise e
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------ the server *)
+
+let serve_on listener sh =
+  let config = sh.config in
+  let pending = Ingest.create ~capacity:64 in
+  let verify_scheme client ~sizes =
+    Mutex.lock sh.scheme_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sh.scheme_lock)
+      (fun () -> Randomizer.same_parameters config.scheme client ~sizes)
+  in
+  let session_config =
+    {
+      Session.scheme = config.scheme;
+      universe = Randomizer.universe config.scheme;
+      itemsets = config.itemsets;
+      max_frame = config.max_frame;
+      verify_scheme;
+      snapshot = (fun ~flush -> shared_snapshot_json sh ~flush);
+      request_shutdown = (fun () -> Atomic.set sh.stop true);
+    }
+  in
+  let acceptor () =
+    let rec go () =
+      if Atomic.get sh.stop then ()
+      else
+        match Unix.select [ listener ] [] [] 0.05 with
+        | [], _, _ -> go ()
+        | _ -> (
+            match Unix.accept listener with
+            | fd, _ ->
+                Ppdm_obs.Metrics.incr "server.accepted";
+                Ppdm_obs.Trace.instant ~name:"server.accept" ~cat:"server";
+                if not (Ingest.push pending fd) then close_quietly fd;
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ();
+    close_quietly listener;
+    Ingest.close pending
+  in
+  let workers_left = Atomic.make config.jobs in
+  let worker () =
+    let rec go () =
+      match Ingest.pop pending with
+      | None -> ()
+      | Some fd ->
+          Fun.protect
+            ~finally:(fun () -> close_quietly fd)
+            (fun () -> Session.run session_config ~shards:sh.shards fd);
+          ignore (Atomic.fetch_and_add sh.sessions 1);
+          Ingest.done_with pending;
+          go ()
+    in
+    go ();
+    (* The last worker out closes the shards: no session can submit any
+       more, so the folders drain what is queued and exit. *)
+    if Atomic.fetch_and_add workers_left (-1) = 1 then
+      Array.iter Shard.close sh.shards
+  in
+  let folder shard () =
+    Shard.fold_loop shard ~batch:config.batch ~linger_ns:config.linger_ns
+  in
+  let tasks =
+    Array.concat
+      [
+        [| acceptor |];
+        Array.init config.jobs (fun _ -> worker);
+        Array.map folder sh.shards;
+      ]
+  in
+  (* Every stage is a long-lived task, so the pool is sized to run them
+     all at once: 1 acceptor + jobs workers + shards folders. *)
+  Pool.with_pool ~jobs:(Array.length tasks) (fun pool ->
+      ignore (Pool.run pool tasks));
+  { reports = shared_folded sh; sessions = Atomic.get sh.sessions }
+
+(* ------------------------------------------------------------- handles *)
+
+type t = {
+  bound_port : int;
+  sh : shared;
+  domain : stats Domain.t;
+  mutable final : stats option;
+}
+
+let start config =
+  validate config;
+  let listener, bound_port = bind_listener config in
+  let sh = make_shared config in
+  let domain = Domain.spawn (fun () -> serve_on listener sh) in
+  { bound_port; sh; domain; final = None }
+
+let port t = t.bound_port
+
+let wait t =
+  match t.final with
+  | Some s -> s
+  | None ->
+      let s = Domain.join t.domain in
+      t.final <- Some s;
+      s
+
+let stop t =
+  Atomic.set t.sh.stop true;
+  wait t
+
+let snapshot_estimates t ~flush = shared_estimates t.sh ~flush
+let snapshot_json t ~flush = shared_snapshot_json t.sh ~flush
+
+let run ?(ready = ignore) config =
+  validate config;
+  let listener, bound_port = bind_listener config in
+  let sh = make_shared config in
+  ready bound_port;
+  serve_on listener sh

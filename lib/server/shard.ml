@@ -1,0 +1,69 @@
+open Ppdm_data
+open Ppdm
+
+type t = {
+  queue : (int * Itemset.t) Ingest.t;
+  accs : Stream.t list;
+  acc_lock : Mutex.t;
+  mutable folded : int; (* under acc_lock *)
+}
+
+let create ~scheme ~itemsets ~capacity =
+  if itemsets = [] then invalid_arg "Shard.create: no tracked itemsets";
+  {
+    queue = Ingest.create ~capacity;
+    accs = List.map (fun itemset -> Stream.create ~scheme ~itemset) itemsets;
+    acc_lock = Mutex.create ();
+    folded = 0;
+  }
+
+let submit t report = Ingest.push t.queue report
+
+let fold_batch t batch =
+  Mutex.lock t.acc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.acc_lock)
+    (fun () ->
+      Array.iter
+        (fun (size, y) ->
+          List.iter (fun acc -> Stream.observe acc ~size y) t.accs)
+        batch;
+      t.folded <- t.folded + Array.length batch)
+
+let fold_loop t ~batch ~linger_ns =
+  let instrument = Ppdm_obs.Metrics.any_enabled () in
+  let rec go () =
+    match Ingest.pop_batch t.queue ~max:batch ~linger_ns with
+    | [||] -> ()
+    | b ->
+        if instrument then begin
+          Ppdm_obs.Metrics.observe "server.batch.size" (Array.length b);
+          Ppdm_obs.Metrics.gauge "server.queue.depth"
+            (float_of_int (Ingest.depth t.queue));
+          Ppdm_obs.Trace.with_ ~name:"server.fold" ~cat:"server" (fun () ->
+              fold_batch t b)
+        end
+        else fold_batch t b;
+        Ingest.done_with t.queue;
+        go ()
+  in
+  go ()
+
+let close t = Ingest.close t.queue
+let quiesce t = Ingest.wait_idle t.queue
+
+let snapshot t =
+  Mutex.lock t.acc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.acc_lock)
+    (* [Stream.merge] of a single accumulator is a deep copy: a fresh
+       accumulator holding the same summed statistic. *)
+    (fun () -> List.map (fun acc -> Stream.merge [ acc ]) t.accs)
+
+let folded t =
+  Mutex.lock t.acc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.acc_lock)
+    (fun () -> t.folded)
+
+let depth t = Ingest.depth t.queue

@@ -32,4 +32,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("server", Test_server.suite);
     ]
