@@ -263,6 +263,28 @@ let server_invalid_reports_rejected () =
           | Error e ->
               Error ("expected an item-out-of-universe error, got " ^ e)))
 
+let client_oversized_send_rejected () =
+  with_server (fun server ->
+      let c = Sclient.connect ~port:(Serve.port server) ~max_frame:32 () in
+      let verdict =
+        Fun.protect
+          ~finally:(fun () -> Sclient.close c)
+          (fun () ->
+            (* 24 items encode to well over the 32-byte cap; the client
+               must refuse locally instead of emitting a frame the peer
+               is guaranteed to reject. *)
+            let big = Itemset.of_list (List.init 24 Fun.id) in
+            match Sclient.report c ~size:24 big with
+            | () -> Error "an oversized frame was written"
+            | exception Invalid_argument _ -> Ok ()
+            | exception e ->
+                Error
+                  ("expected Invalid_argument from the capped send, got "
+                  ^ Printexc.to_string e))
+      in
+      (* nothing reached the wire, so the server is untouched *)
+      match verdict with Error _ as e -> e | Ok () -> still_serving server)
+
 let io_fimi_truncation_is_silent () =
   let db =
     Db.create ~universe:6

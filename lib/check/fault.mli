@@ -65,3 +65,9 @@ val server_invalid_reports_rejected : unit -> (unit, string) result
 (** An out-of-universe item and a size outside the handshake each earn
     their typed error while the session {e continues}; a subsequent
     valid report still lands, exactly once. *)
+
+val client_oversized_send_rejected : unit -> (unit, string) result
+(** A client configured with a small frame cap refuses to {e send} a
+    message that encodes above it ([Invalid_argument], mirroring the
+    read-side [Too_large]) — nothing reaches the wire, and the server
+    keeps serving. *)

@@ -13,6 +13,15 @@ let sequential_miners ?max_size () =
         Apriori.mine ?max_size ~counter:Apriori.Vertical db ~min_support );
     ("eclat", fun db ~min_support -> Eclat.mine ?max_size db ~min_support);
     ("fp-growth", fun db ~min_support -> Fptree.mine ?max_size db ~min_support);
+    (* sampled at F = 1.0 is contractually byte-identical to the exact
+       engines (the plan is exhaustive and scaling is the identity), so
+       it can join the differential suite; F < 1 cannot — it gets its
+       own statistical checks in Stat. *)
+    ( "apriori-sampled-1.0",
+      fun db ~min_support ->
+        Apriori.mine ?max_size
+          ~counter:(Apriori.Sampled { fraction = 1.0; seed = 0 })
+          db ~min_support );
   ]
 
 let parallel_miners ?max_size pool =
@@ -28,6 +37,11 @@ let parallel_miners ?max_size pool =
     ( "parallel-eclat/j" ^ j,
       fun db ~min_support ->
         Ppdm_runtime.Parallel.eclat_mine pool ?max_size db ~min_support );
+    ( "parallel-apriori-sampled-1.0/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.apriori_mine pool ?max_size
+          ~counter:(Apriori.Sampled { fraction = 1.0; seed = 0 })
+          db ~min_support );
   ]
 
 let canonical l =

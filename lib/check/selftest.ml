@@ -139,6 +139,60 @@ let estimator_bias_check ~rng () =
       (Printf.sprintf "estimator bias z-test rejected (p=%.2g < %.3f)" p p_floor)
   else Ok ()
 
+(* A database for the sampled-counting hypotheses: iid random transactions
+   (so word-window cluster sampling has the same variance as uniform row
+   sampling, which is what the FPC sigma predicts) and exactly 200 bitmap
+   words — 50 windows, enough for the seeded selection to fluctuate. *)
+let sampled_counting_db =
+  let rng = Rng.create ~seed:1234 () in
+  Db.create ~universe:8
+    (Array.init (200 * 62) (fun _ ->
+         Itemset.of_list
+           (List.filter (fun _ -> Rng.float rng < 0.3) (List.init 8 Fun.id))))
+
+let sampled_counts_check () =
+  let itemset = Itemset.of_list [ 0; 1 ] in
+  let p =
+    Stat.sampled_counts_pvalue ~db:sampled_counting_db ~itemset ~fraction:0.25
+      ()
+  in
+  if p < p_floor then
+    Error
+      (Printf.sprintf "sampled-vs-exact z-test rejected (p=%.2g < %.3f)" p
+         p_floor)
+  else Ok ()
+
+let sampled_sigma_check () =
+  let itemset = Itemset.of_list [ 0; 1 ] in
+  Stat.sampled_sigma_coverage ~db:sampled_counting_db ~itemset ~fraction:0.25
+    ()
+
+let combined_sigma_check ~seed () =
+  let scheme = Randomizer.uniform ~universe:8 ~p_keep:0.85 ~p_add:0.05 in
+  let rng = Rng.create ~seed:4321 () in
+  let db =
+    Db.create ~universe:8
+      (Array.init 400 (fun _ ->
+           Itemset.of_list
+             (List.filter (fun _ -> Rng.float rng < 0.35) (List.init 8 Fun.id))))
+  in
+  let itemset = Itemset.of_list [ 0; 1 ] in
+  match
+    Stat.combined_sigma_coverage ~scheme ~db ~itemset ~fraction:0.3
+      (Rng.create ~seed:(seed + 23) ())
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      let p =
+        Stat.combined_sigma_pvalue ~scheme ~db ~itemset ~fraction:0.3
+          (Rng.create ~seed:(seed + 24) ())
+      in
+      if p < p_floor then
+        Error
+          (Printf.sprintf "combined-sigma z-test rejected (p=%.2g < %.3f)" p
+             p_floor)
+      else Ok ()
+
 let fuzz_roundtrip_checks ~seed ~count =
   let db_gen = Gen.db ~max_universe:12 ~max_transactions:20 () in
   let with_temp suffix content f =
@@ -283,6 +337,12 @@ let run ?count ?(seed = 42) ?(log = ignore) () =
               amplification_check_ ~rng ());
           ("statistical: estimator unbiasedness (z-test)", fun () ->
               estimator_bias_check ~rng ());
+          ("statistical: sampled counts unbiased vs exact (z-test)", fun () ->
+              sampled_counts_check ());
+          ("statistical: sampled sigma covers |sampled - exact|", fun () ->
+              sampled_sigma_check ());
+          ("statistical: combined sigma honest on sampled recovery", fun () ->
+              combined_sigma_check ~seed ());
           ("fault: pool task failure propagates, pool survives", fun () ->
               Fault.pool_error_propagates ~jobs:4 ~k:3 ~n:16);
           ("fault: sequential pool degrades identically", fun () ->
@@ -332,6 +392,8 @@ let run ?count ?(seed = 42) ?(log = ignore) () =
               Fault.server_scheme_mismatch_rejected ());
           ("fault: server rejects invalid reports, session continues",
             fun () -> Fault.server_invalid_reports_rejected ());
+          ("fault: client refuses oversized send, server untouched",
+            fun () -> Fault.client_oversized_send_rejected ());
         ]
         @ fuzz_roundtrip_checks ~seed ~count
       in

@@ -7,6 +7,7 @@ type t = {
   sigma : float;
   covariance : Mat.t;
   n_transactions : int;
+  n_population : int;
 }
 
 let observed_partial_counts data ~itemset =
@@ -25,7 +26,12 @@ let observed_partial_counts data ~itemset =
       let l' = Itemset.inter_size itemset y in
       counts.(l') <- counts.(l') + 1)
     data;
-  List.sort compare (Hashtbl.fold (fun size c acc -> (size, c) :: acc) by_size [])
+  (* Sort on the size key alone: polymorphic compare would descend into
+     the histogram arrays (sizes are unique, so the key determines the
+     order) — same hazard Stream.estimate already avoids. *)
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun size c acc -> (size, c) :: acc) by_size [])
 
 (* Conditional covariance of the observed fraction vector given the true
    database: the randomization is the only noise source (the paper
@@ -58,6 +64,9 @@ let estimate_class (resolved : Randomizer.resolved) ~k counts =
   Ppdm_obs.Metrics.time "estimator.solve_ns" @@ fun () ->
   let m = Array.length resolved.keep_dist - 1 in
   let n = Array.fold_left ( + ) 0 counts in
+  (* n = 0 would divide the observed fractions by zero and propagate NaN
+     through partials, covariance, and sigma. *)
+  if n = 0 then invalid_arg "Estimator.estimate_class: empty size class";
   let observed =
     Array.map (fun c -> float_of_int c /. float_of_int n) counts
   in
@@ -83,7 +92,41 @@ let estimate_class (resolved : Randomizer.resolved) ~k counts =
   in
   (partials, covariance, n)
 
-let estimate_from_counts ~scheme ~k ~counts:groups =
+(* Covariance contributed by counting on a uniform sample of [n]
+   transactions drawn without replacement from a population of
+   [population]: the sample's true partial-support vector fluctuates
+   around the population's with (finite-population-corrected) multinomial
+   covariance, and that noise passes into the recovered partials
+   unattenuated (it perturbs the target itself, not the observation
+   channel).  Plug-in [partials] are clamped to [0, 1]; a full count
+   ([population = n]) contributes exactly zero. *)
+let sampling_covariance ~partials ~n ~population =
+  if n <= 0 then invalid_arg "Estimator.sampling_covariance: n must be positive";
+  if population < n then
+    invalid_arg "Estimator.sampling_covariance: population smaller than sample";
+  let dim = Array.length partials in
+  let cov = Mat.create ~rows:dim ~cols:dim in
+  if population > n then begin
+    let s = Array.map (fun v -> Float.max 0. (Float.min 1. v)) partials in
+    let fpc =
+      float_of_int (population - n) /. float_of_int (population - 1)
+    in
+    let w = fpc /. float_of_int n in
+    for i = 0 to dim - 1 do
+      for j = 0 to dim - 1 do
+        let v = if i = j then s.(i) *. (1. -. s.(i)) else -.(s.(i) *. s.(j)) in
+        Mat.set cov i j (w *. v)
+      done
+    done
+  end;
+  cov
+
+let sampling_sigma ~support ~n ~population =
+  sqrt
+    (Float.max 0.
+       (Mat.get (sampling_covariance ~partials:[| support |] ~n ~population) 0 0))
+
+let estimate_from_counts_gen ~population ~scheme ~k ~counts:groups =
   Ppdm_obs.Span.with_ ~name:"estimator.estimate" @@ fun () ->
   let total =
     List.fold_left
@@ -96,6 +139,12 @@ let estimate_from_counts ~scheme ~k ~counts:groups =
       if Array.length c <> k + 1 then
         invalid_arg "Estimator.estimate_from_counts: count vector length")
     groups;
+  let population = Option.value population ~default:total in
+  if population < total then
+    invalid_arg "Estimator.estimate_from_counts: population smaller than sample";
+  (* An all-zero size class carries no observations; estimate_class would
+     divide by n = 0 and poison everything downstream with NaN. *)
+  let groups = List.filter (fun (_, c) -> Array.exists (( <> ) 0) c) groups in
   let partials = Array.make (k + 1) 0. in
   let covariance = Mat.create ~rows:(k + 1) ~cols:(k + 1) in
   List.iter
@@ -111,31 +160,64 @@ let estimate_from_counts ~scheme ~k ~counts:groups =
         done
       done)
     groups;
+  (* Counting on a sample composes a second, independent noise source:
+     randomization noise (above, conditional on the sampled rows) plus
+     the sampling fluctuation of the rows themselves. *)
+  if population > total then begin
+    let extra = sampling_covariance ~partials ~n:total ~population in
+    for l = 0 to k do
+      for l2 = 0 to k do
+        Mat.set covariance l l2 (Mat.get covariance l l2 +. Mat.get extra l l2)
+      done
+    done
+  end;
   {
     support = partials.(k);
     partials;
     sigma = sqrt (Float.max 0. (Mat.get covariance k k));
     covariance;
     n_transactions = total;
+    n_population = population;
   }
 
-let estimate ~scheme ~data ~itemset =
+let estimate_from_counts ~scheme ~k ~counts =
+  estimate_from_counts_gen ~population:None ~scheme ~k ~counts
+
+let estimate_from_counts_sampled ~population ~scheme ~k ~counts =
+  estimate_from_counts_gen ~population:(Some population) ~scheme ~k ~counts
+
+let estimate_gen ~population ~scheme ~data ~itemset =
   if Array.length data = 0 then invalid_arg "Estimator.estimate: empty data";
   let k = Itemset.cardinal itemset in
   let counts = observed_partial_counts data ~itemset in
-  estimate_from_counts ~scheme ~k ~counts
+  estimate_from_counts_gen ~population ~scheme ~k ~counts
 
-let predicted_sigma (resolved : Randomizer.resolved) ~k ~partials ~n =
+let estimate ~scheme ~data ~itemset =
+  estimate_gen ~population:None ~scheme ~data ~itemset
+
+let estimate_sampled ~population ~scheme ~data ~itemset =
+  estimate_gen ~population:(Some population) ~scheme ~data ~itemset
+
+let predicted_sigma ?population (resolved : Randomizer.resolved) ~k ~partials
+    ~n =
   let m = Array.length resolved.keep_dist - 1 in
   if k > m then invalid_arg "Estimator.predicted_sigma: k exceeds size";
   if Array.length partials <> k + 1 then
     invalid_arg "Estimator.predicted_sigma: partials must have length k+1";
   if n <= 0 then invalid_arg "Estimator.predicted_sigma: n must be positive";
+  let population = Option.value population ~default:n in
+  if population < n then
+    invalid_arg "Estimator.predicted_sigma: population smaller than sample";
   let p = Transition.matrix resolved ~k in
   let cov_obs = conditional_cov p partials n in
   let pinv = Lu.inverse (Lu.decompose p) in
   let cov = Mat.mul pinv (Mat.mul cov_obs (Mat.transpose pinv)) in
-  sqrt (Float.max 0. (Mat.get cov k k))
+  let sampling =
+    if population > n then
+      Mat.get (sampling_covariance ~partials ~n ~population) k k
+    else 0.
+  in
+  sqrt (Float.max 0. (Mat.get cov k k +. sampling))
 
 let confidence_interval t ~level =
   if not (level > 0. && level < 1.) then
@@ -160,9 +242,10 @@ let binomial_profile ~k ~p_bg ~support =
   profile.(k) <- support;
   profile
 
-let lowest_discoverable_support resolved ~k ~n ~p_bg =
+let lowest_discoverable_support ?population resolved ~k ~n ~p_bg =
   let sigma_at s =
-    predicted_sigma resolved ~k ~partials:(binomial_profile ~k ~p_bg ~support:s)
+    predicted_sigma ?population resolved ~k
+      ~partials:(binomial_profile ~k ~p_bg ~support:s)
       ~n
   in
   (* σ(s) is continuous and nearly flat while s/2 grows linearly, so the

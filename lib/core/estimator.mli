@@ -18,7 +18,10 @@ type t = {
   partials : float array;  (** full estimated partial-support vector *)
   sigma : float;  (** estimated standard deviation of [support] *)
   covariance : Mat.t;  (** covariance of [partials] *)
-  n_transactions : int;
+  n_transactions : int;  (** transactions actually counted (the sample) *)
+  n_population : int;
+      (** full database size the estimate refers to; equals
+          [n_transactions] unless counting ran on a sample *)
 }
 
 val observed_partial_counts :
@@ -35,20 +38,67 @@ val estimate :
     {!Randomizer.apply_db_tagged}).
     @raise Invalid_argument on empty data. *)
 
+val estimate_sampled :
+  population:int ->
+  scheme:Randomizer.t ->
+  data:(int * Itemset.t) array ->
+  itemset:Itemset.t ->
+  t
+(** {!estimate} for [data] that is a uniform without-replacement sample of
+    a database of [population] transactions: the sampling variance is
+    folded into [sigma] and [covariance], and [n_population] records the
+    full size.
+    @raise Invalid_argument on empty data or [population < length data]. *)
+
 val estimate_from_counts :
   scheme:Randomizer.t -> k:int -> counts:(int * int array) list -> t
 (** Estimation from pre-aggregated observations: for each original
     transaction size, the counts of [|y ∩ A| = l'] (length [k+1]).  This
     is the sufficient statistic — {!Stream} accumulates it online and
-    {!estimate} is the one-shot wrapper.
+    {!estimate} is the one-shot wrapper.  All-zero size classes are
+    skipped (they carry no observations).
     @raise Invalid_argument on empty counts or mis-sized vectors. *)
 
+val estimate_from_counts_sampled :
+  population:int ->
+  scheme:Randomizer.t ->
+  k:int ->
+  counts:(int * int array) list ->
+  t
+(** {!estimate_from_counts} when the counts were taken over a uniform
+    sample out of [population] transactions ({!estimate_sampled} from the
+    sufficient statistic).
+    @raise Invalid_argument additionally when [population] is smaller
+    than the total count. *)
+
+val sampling_covariance :
+  partials:float array -> n:int -> population:int -> Mat.t
+(** Covariance contributed by counting on a uniform without-replacement
+    sample of [n] transactions out of [population]: the
+    finite-population-corrected multinomial covariance
+    [(population-n)/(population-1) · 1/n · (diag s − s sᵀ)] of the
+    sample's true partial-support vector around the population's.  It
+    composes additively with the randomization covariance (the two noise
+    sources are independent).  [partials] are clamped to [0,1]; the
+    result is zero when [population = n].
+    @raise Invalid_argument if [n <= 0] or [population < n]. *)
+
+val sampling_sigma : support:float -> n:int -> population:int -> float
+(** [sqrt] of the support entry of {!sampling_covariance} for a 1-vector
+    profile — the standalone sampling noise on one support estimate. *)
+
 val predicted_sigma :
-  Randomizer.resolved -> k:int -> partials:float array -> n:int -> float
+  ?population:int ->
+  Randomizer.resolved ->
+  k:int ->
+  partials:float array ->
+  n:int ->
+  float
 (** Theoretical standard deviation of the recovered support when the true
     partial-support vector is [partials] and [n] size-[m] transactions are
     observed — the paper's accuracy formula (used by F1/F2 and the
-    optimizer).  Requires [k <= m]. *)
+    optimizer).  Requires [k <= m].  With [?population] the sampling
+    variance of an [n]-of-[population] uniform sample is added. *)
 
 val confidence_interval : t -> level:float -> float * float
 (** Normal-approximation confidence interval for the recovered support at
@@ -62,7 +112,9 @@ val binomial_profile : k:int -> p_bg:float -> support:float -> float array
     {!predicted_sigma} at a hypothetical support level. *)
 
 val lowest_discoverable_support :
-  Randomizer.resolved -> k:int -> n:int -> p_bg:float -> float
+  ?population:int -> Randomizer.resolved -> k:int -> n:int -> p_bg:float -> float
 (** Smallest support [s] whose predicted σ is at most [s / 2] under the
     binomial profile: the paper's discoverability threshold.  Returns 1.0
-    when even full support is not discoverable. *)
+    when even full support is not discoverable.  With [?population] the
+    threshold accounts for sampled counting ([n] of [population] rows)
+    and rises accordingly. *)

@@ -108,7 +108,11 @@ let with_level_span ~size f =
     Ppdm_obs.Span.with_ ~name:(Printf.sprintf "apriori.level%d" size) f
   else f ()
 
-type counter = Trie | Vertical | Auto
+type counter =
+  | Trie
+  | Vertical
+  | Auto
+  | Sampled of { fraction : float; seed : int }
 
 (* Auto: the transpose pays off once dense tid-sets span at least one
    full word; below 62 transactions the trie's per-transaction walk is
@@ -119,6 +123,10 @@ let resolve_counter counter db =
   | Vertical -> `Vertical
   | Auto ->
       if Db.length db >= Bitset.bits_per_word then `Vertical else `Trie
+  | Sampled { fraction; seed } ->
+      if not (fraction > 0. && fraction <= 1.) then
+        invalid_arg "Apriori.resolve_counter: sampled fraction out of (0,1]";
+      `Sampled (fraction, seed)
 
 let mine ?max_size ?(counter = Trie) db ~min_support =
   if min_support <= 0. || min_support > 1. then
@@ -146,6 +154,23 @@ let mine ?max_size ?(counter = Trie) db ~min_support =
             fun candidates ->
               let vt, scratch = Lazy.force state in
               Vertical.support_counts ~scratch vt candidates
+        | `Sampled (fraction, seed) ->
+            Ppdm_obs.Metrics.incr "apriori.counter.sampled";
+            (* Counts come back pre-scaled to full-database equivalents,
+               so the threshold comparison below is unchanged; level 1
+               stays exact (it reads Db.item_counts, not the sample). *)
+            let state =
+              lazy
+                (let vt = Vertical.load db in
+                 let plan =
+                   Sampled.plan ~n:(Vertical.length vt)
+                     ~word_count:(Vertical.word_count vt) ~fraction ~seed ()
+                 in
+                 (vt, Vertical.make_scratch vt, plan))
+            in
+            fun candidates ->
+              let vt, scratch, plan = Lazy.force state in
+              Sampled.support_counts ~scratch vt plan candidates
       in
       let level1 = with_level_span ~size:1 (fun () -> level1 db ~threshold) in
       record_level ~size:1 ~candidates:level1 ~frequent:level1;

@@ -6,7 +6,17 @@
 
 open Ppdm_data
 
-type counter = Trie | Vertical | Auto
+type counter =
+  | Trie
+  | Vertical
+  | Auto
+  | Sampled of { fraction : float; seed : int }
+      (** count levels >= 2 on a deterministic uniform word-window sample
+          covering [fraction] of the tid range (see {!Sampled}); counts
+          are scaled to full-database equivalents, so thresholds apply
+          unchanged, but they are {e estimates} — compose the sampling
+          variance downstream.  [fraction = 1.0] is byte-identical to
+          [Vertical]. *)
 (** Which support-counting engine the level loop runs on.  [Trie] is the
     horizontal hash-trie of {!Count} (one walk per transaction per
     level); [Vertical] transposes the database once into {!Vertical}
@@ -14,12 +24,15 @@ type counter = Trie | Vertical | Auto
     [Auto] picks [Vertical] whenever the database fills at least one
     bitmap word (62 transactions) and falls back to [Trie] on tiny
     inputs, where the transpose cannot amortize.  The mined output is
-    byte-identical across all three. *)
+    byte-identical across [Trie], [Vertical], and [Auto]. *)
 
-val resolve_counter : counter -> Db.t -> [ `Trie | `Vertical ]
+val resolve_counter :
+  counter -> Db.t -> [ `Trie | `Vertical | `Sampled of float * int ]
 (** The engine [Auto] resolves to on this database (identity on the
-    explicit choices).  Exposed so external drivers — the parallel
-    runtime, the CLI — agree with {!mine} on the resolution rule. *)
+    explicit choices; [Sampled] unpacks to its fraction and seed).
+    Exposed so external drivers — the parallel runtime, the CLI — agree
+    with {!mine} on the resolution rule.
+    @raise Invalid_argument on a sampled fraction outside (0,1]. *)
 
 val mine :
   ?max_size:int -> ?counter:counter -> Db.t -> min_support:float ->

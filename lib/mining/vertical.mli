@@ -110,6 +110,16 @@ val count_into :
     containing an item outside the universe counts 0, as with the trie.
     @raise Invalid_argument on a window outside [0, word_count]. *)
 
+val count_runs :
+  ?scratch:scratch -> t -> runs:(int * int) array -> prepared -> int array
+(** Sum of {!count_into} over several [\[lo, hi)] word runs, in one pass:
+    equal to per-run [count_into] results added together, but candidates
+    of size at most 2 are counted candidate-outer so the per-candidate
+    dispatch cost is paid once rather than once per run — the sampled
+    counter's kernel, where runs are a few words wide and the candidate
+    batch is large.
+    @raise Invalid_argument on a run outside [0, word_count]. *)
+
 val assemble : prepared -> int array -> (Itemset.t * int) list
 (** Pair a {!count_into} result (or a sum of them) back with its
     itemsets, in {!Itemset.compare} order — the exact shape

@@ -130,6 +130,54 @@ let support_counts_vertical pool ?chunk vt candidates =
     Vertical.assemble prepared totals
   end
 
+(* Sampled counting shards exactly like the vertical engine, except the
+   word windows come from the plan's selected runs: each run is cut into
+   sub-windows of at most [chunk] words and the per-window arrays are
+   summed in run order.  The plan itself is fixed before any task runs,
+   so the raw sums — and the scaled counts — are bit-identical to the
+   sequential [Sampled.support_counts] at any job count. *)
+let support_counts_sampled pool ?chunk vt (plan : Sampled.plan) candidates =
+  Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
+  let selected_words =
+    Array.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 plan.Sampled.runs
+  in
+  let chunk =
+    match chunk with
+    | Some c ->
+        if c <= 0 then
+          invalid_arg "Parallel.support_counts_sampled: chunk must be positive";
+        c
+    | None -> max 256 ((selected_words + 63) / 64)
+  in
+  let prepared = Vertical.prepare candidates in
+  let len = Vertical.prepared_length prepared in
+  if len = 0 then []
+  else if selected_words = 0 then Vertical.assemble prepared (Array.make len 0)
+  else begin
+    let tasks = ref [] in
+    Array.iter
+      (fun (lo, hi) ->
+        let pos = ref lo in
+        while !pos < hi do
+          let wlo = !pos in
+          let whi = min hi (wlo + chunk) in
+          tasks :=
+            (fun () -> Vertical.count_into vt ~word_lo:wlo ~word_hi:whi prepared)
+            :: !tasks;
+          pos := whi
+        done)
+      plan.Sampled.runs;
+    let parts = Pool.run pool (Array.of_list (List.rev !tasks)) in
+    let totals = parts.(0) in
+    for p = 1 to Array.length parts - 1 do
+      let part = parts.(p) in
+      for i = 0 to len - 1 do
+        totals.(i) <- totals.(i) + part.(i)
+      done
+    done;
+    Vertical.assemble prepared (Sampled.scale_counts plan totals)
+  end
+
 let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
     ~min_support =
   if min_support <= 0. || min_support > 1. then
@@ -145,6 +193,20 @@ let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
         let state = lazy (Vertical.load db) in
         fun candidates ->
           support_counts_vertical pool ?chunk (Lazy.force state) candidates
+    | `Sampled (fraction, seed) ->
+        Ppdm_obs.Metrics.incr "apriori.counter.sampled";
+        let state =
+          lazy
+            (let vt = Vertical.load db in
+             let plan =
+               Sampled.plan ~n:(Vertical.length vt)
+                 ~word_count:(Vertical.word_count vt) ~fraction ~seed ()
+             in
+             (vt, plan))
+        in
+        fun candidates ->
+          let vt, plan = Lazy.force state in
+          support_counts_sampled pool ?chunk vt plan candidates
   in
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in

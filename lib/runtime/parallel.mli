@@ -61,18 +61,31 @@ val support_counts_vertical :
     cut.
     @raise Invalid_argument if [chunk <= 0] or a candidate is empty. *)
 
+val support_counts_sampled :
+  Pool.t -> ?chunk:int -> Ppdm_mining.Vertical.t ->
+  Ppdm_mining.Sampled.plan -> Itemset.t list -> (Itemset.t * int) list
+(** Sharded [Sampled.support_counts]: the plan's selected word runs are
+    cut into sub-windows of at most [chunk] words, counted like
+    {!support_counts_vertical}, summed in run order, then scaled to
+    full-database equivalents.  The plan is fixed before fan-out, so the
+    output is bit-identical to the sequential sampled count at any job
+    count.
+    @raise Invalid_argument if [chunk <= 0] or a candidate is empty. *)
+
 val apriori_mine :
   Pool.t -> ?chunk:int -> ?max_size:int -> ?counter:Ppdm_mining.Apriori.counter ->
   Db.t -> min_support:float -> (Itemset.t * int) list
 (** [Apriori.mine] with every level's candidate counting sharded through
-    {!support_counts} ([counter = Trie], the default) or
-    {!support_counts_vertical} ([counter = Vertical]; [Auto] resolves via
+    {!support_counts} ([counter = Trie], the default),
+    {!support_counts_vertical} ([counter = Vertical]), or
+    {!support_counts_sampled} ([counter = Sampled _]; [Auto] resolves via
     [Apriori.resolve_counter]).  [?chunk] is in transactions for the trie
-    and in bitmap words for the vertical engine.  Candidate generation
-    and thresholding replicate [Apriori] exactly
+    and in bitmap words for the vertical and sampled engines.  Candidate
+    generation and thresholding replicate [Apriori] exactly
     ([Apriori.absolute_threshold], [Apriori.level1],
     [Apriori.candidates_from]), and the mined output is byte-identical
-    across engines and job counts.
+    across exact engines and job counts (sampled output matches the
+    sequential sampled run for the same fraction and seed).
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
 val eclat_mine :

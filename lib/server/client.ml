@@ -1,15 +1,15 @@
 open Ppdm
 
-type t = { sock : Unix.file_descr; mutable closed : bool }
+type t = { sock : Unix.file_descr; max_frame : int; mutable closed : bool }
 
 exception Server_error of Wire.error_code * string
 
-let connect ?(retries = 100) ~port () =
+let connect ?(retries = 100) ?(max_frame = Framing.default_max_frame) ~port () =
   let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
   let rec attempt left =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect sock addr with
-    | () -> { sock; closed = false }
+    | () -> { sock; max_frame; closed = false }
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EINTR), _, _)
       when left > 1 ->
         Unix.close sock;
@@ -28,7 +28,11 @@ let close t =
   end
 
 let fd t = t.sock
-let send t msg = Framing.write t.sock (Wire.encode msg)
+
+(* The cap applies on both directions: emitting a frame the peer's
+   reader is guaranteed to reject would only surface as an opaque
+   remote [Frame_too_large]. *)
+let send t msg = Framing.write ~max_frame:t.max_frame t.sock (Wire.encode msg)
 
 let send_raw t raw =
   let rec go pos =
@@ -38,7 +42,7 @@ let send_raw t raw =
   go 0
 
 let read t =
-  match Framing.read t.sock with
+  match Framing.read ~max_frame:t.max_frame t.sock with
   | Error e -> Error (Framing.read_error_to_string e)
   | Ok payload -> Wire.decode payload
 

@@ -20,10 +20,16 @@ let rec write_all fd b pos len =
     write_all fd b (pos + n) (len - n)
   end
 
-let write fd payload =
+let write ?(max_frame = default_max_frame) fd payload =
   let len = Bytes.length payload in
   if len = 0 then invalid_arg "Framing.write: empty payload";
-  if len > 0x7FFFFFFF then invalid_arg "Framing.write: payload too long";
+  (* Mirror the read-side cap: a frame above the peer's [max_frame] is
+     guaranteed to be rejected there, so refusing to emit it turns a
+     remote protocol error into a local, diagnosable one. *)
+  if len > max_frame then
+    invalid_arg
+      (Printf.sprintf "Framing.write: payload length %d exceeds cap %d" len
+         max_frame);
   let header = Bytes.create 4 in
   Bytes.set_int32_be header 0 (Int32.of_int len);
   write_all fd header 0 4;

@@ -25,10 +25,13 @@ val default_max_frame : int
     snapshot; small enough that a malicious length cannot balloon
     memory. *)
 
-val write : Unix.file_descr -> Bytes.t -> unit
+val write : ?max_frame:int -> Unix.file_descr -> Bytes.t -> unit
 (** Write one frame (header + payload), looping over partial writes.
+    [max_frame] (default {!default_max_frame}) mirrors the read-side
+    cap: a frame above the peer's limit is guaranteed to be rejected
+    there, so emitting one is refused locally instead.
     @raise Invalid_argument if the payload is empty or longer than
-    [2^31 - 1] bytes.
+    [max_frame] bytes.
     @raise Unix.Unix_error as the descriptor does (e.g. [EPIPE]). *)
 
 val read : ?max_frame:int -> Unix.file_descr -> (Bytes.t, read_error) result

@@ -79,8 +79,13 @@ let pop_batch t ~max ~linger_ns =
     while (not !stop) && !count < max && Ppdm_obs.Metrics.now_ns () < deadline do
       Unix.sleepf 0.0005;
       locked t (fun () ->
+          let before = !count in
           take_upto ();
-          if Queue.length t.q < t.capacity then Condition.broadcast t.not_full;
+          (* Only wake producers when this poll actually freed queue
+             space; a blanket broadcast every 0.5 ms stampedes blocked
+             pushers just to have them re-check a still-full queue. *)
+          if !count > before && Queue.length t.q < t.capacity then
+            Condition.broadcast t.not_full;
           if t.closed && Queue.is_empty t.q then stop := true)
     done
   end;

@@ -12,23 +12,29 @@ type config = {
 }
 
 (* Sending can hit a peer that already went away (EPIPE / reset); a
-   best-effort answer must not kill the session loop's own cleanup. *)
-let send fd msg =
-  match Framing.write fd (Wire.encode msg) with
+   best-effort answer must not kill the session loop's own cleanup.  The
+   session's configured frame cap applies symmetrically: what we refuse
+   to read we also refuse to emit. *)
+let send ~max_frame fd msg =
+  match Framing.write ~max_frame fd (Wire.encode msg) with
   | () -> true
   | exception Unix.Unix_error _ -> false
 
 let count_error code =
   Ppdm_obs.Metrics.incr ("server.errors." ^ Wire.error_code_name code)
 
-let send_error fd code detail =
+let send_error ~max_frame fd code detail =
   count_error code;
-  ignore (send fd (Wire.Error { code; detail }))
+  ignore (send ~max_frame fd (Wire.Error { code; detail }))
 
 (* What a received report may use, fixed at handshake time. *)
 type handshake = { allowed_sizes : (int, unit) Hashtbl.t }
 
 let run config ~shards fd =
+  let send fd msg = send ~max_frame:config.max_frame fd msg in
+  let send_error fd code detail =
+    send_error ~max_frame:config.max_frame fd code detail
+  in
   let n_shards = Array.length shards in
   let next_shard = ref 0 in
   let handshaken : handshake option ref = ref None in

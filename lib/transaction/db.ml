@@ -65,7 +65,11 @@ let size_histogram db =
       let m = Itemset.cardinal tx in
       Hashtbl.replace tbl m (1 + Option.value ~default:0 (Hashtbl.find_opt tbl m)))
     db;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  (* Sizes are unique keys, so sort on them alone; polymorphic [compare]
+     over the pairs would also inspect the counts. *)
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let density db =
   if length db = 0 then 0.

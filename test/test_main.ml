@@ -18,6 +18,7 @@ let () =
       ("stream", Test_stream.suite);
       ("bitset", Test_bitset.suite);
       ("vertical", Test_vertical.suite);
+      ("sampled", Test_sampled.suite);
       ("scheme_io", Test_scheme_io.suite);
       ("em", Test_em.suite);
       ("channel", Test_channel.suite);

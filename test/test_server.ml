@@ -193,6 +193,21 @@ let test_framing_bad_lengths () =
     (Invalid_argument "Framing.write: empty payload") (fun () ->
       with_pipe (fun _ w -> Framing.write w Bytes.empty))
 
+(* Regression: write used to accept any payload length, so an oversized
+   frame died on the peer's read cap only after the bytes were already on
+   the wire.  The writer now enforces the mirrored cap up front. *)
+let test_framing_write_cap () =
+  Alcotest.check_raises "over the write cap"
+    (Invalid_argument "Framing.write: payload length 9 exceeds cap 8")
+    (fun () -> with_pipe (fun _ w -> Framing.write ~max_frame:8 w (Bytes.make 9 'x')));
+  (* a raised cap lets the same payload through, symmetric with read *)
+  with_pipe (fun r w ->
+      Framing.write ~max_frame:16 w (Bytes.make 9 'x');
+      Unix.close w;
+      match Framing.read ~max_frame:16 r with
+      | Ok p -> Alcotest.(check int) "frame arrives" 9 (Bytes.length p)
+      | Error e -> Alcotest.fail (Framing.read_error_to_string e))
+
 (* ------------------------------------------------------------ ingest *)
 
 let test_ingest_fifo () =
@@ -221,6 +236,40 @@ let test_ingest_batches () =
   Ingest.done_with q;
   Alcotest.(check (array int)) "closed and drained" [||]
     (Ingest.pop_batch q ~max:3 ~linger_ns:0)
+
+(* Regression for the linger wakeup: pop_batch used to broadcast not_full
+   on every linger tick even when it drained nothing, a thundering-herd
+   wakeup for blocked producers.  The fix signals only when space was
+   actually freed — this drives a blocked producer through the lingering
+   batch path and checks nothing is lost, reordered, or deadlocked. *)
+let test_ingest_linger_with_blocked_producer () =
+  let q = Ingest.create ~capacity:2 in
+  let n = 60 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (Ingest.push q i)
+        done)
+  in
+  let out = ref [] in
+  let rec drain () =
+    let batch = Ingest.pop_batch q ~max:5 ~linger_ns:2_000_000 in
+    if Array.length batch > 0 then begin
+      Array.iter (fun v -> out := v :: !out) batch;
+      Ingest.done_with q;
+      drain ()
+    end
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        Domain.join producer;
+        Ingest.close q)
+  in
+  drain ();
+  Domain.join closer;
+  Alcotest.(check (list int)) "lingering batches lose nothing"
+    (List.init n (fun i -> i + 1))
+    (List.rev !out)
 
 (* A queue bound far below the element count: the producer must block on
    the full queue and resume, with nothing lost or reordered. *)
@@ -357,8 +406,11 @@ let suite =
     Alcotest.test_case "framing round-trip" `Quick test_framing_roundtrip;
     Alcotest.test_case "framing truncations" `Quick test_framing_truncations;
     Alcotest.test_case "framing bad lengths" `Quick test_framing_bad_lengths;
+    Alcotest.test_case "framing write cap" `Quick test_framing_write_cap;
     Alcotest.test_case "ingest fifo" `Quick test_ingest_fifo;
     Alcotest.test_case "ingest batches" `Quick test_ingest_batches;
+    Alcotest.test_case "ingest linger with blocked producer" `Quick
+      test_ingest_linger_with_blocked_producer;
     Alcotest.test_case "ingest backpressure" `Quick test_ingest_backpressure;
     Alcotest.test_case "e2e bit-identical at any jobs/shards" `Quick
       test_e2e_bit_identical;

@@ -146,7 +146,7 @@ let test_auto_resolution () =
   let is_vertical db =
     match Apriori.resolve_counter Apriori.Auto db with
     | `Vertical -> true
-    | `Trie -> false
+    | `Trie | `Sampled _ -> false
   in
   Alcotest.(check bool) "61 transactions resolve to trie" false
     (is_vertical small);
