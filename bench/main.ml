@@ -650,6 +650,117 @@ let b9 () =
   Printf.printf "sampled F=1.0 output identical to exact: %s\n"
     (if identical then "yes" else "NO — EXACTNESS VIOLATION")
 
+let b10 () =
+  header
+    "B10 Scaling efficiency: 2-D grid counting, chunked vs stealing (QUEST)";
+  Printf.printf
+    "(%d core(s) visible to the OCaml runtime; on a single-core box only\n\
+    \ determinism is demonstrable here — speedup needs a multicore run)\n"
+    (Domain.recommended_domain_count ());
+  let quest ~universe ~avg =
+    let rng = Rng.create ~seed:11 () in
+    Ppdm_datagen.Quest.generate rng
+      {
+        Ppdm_datagen.Quest.default with
+        universe;
+        n_transactions = 5_000;
+        avg_transaction_size = avg;
+      }
+  in
+  (* Transactions sorted big-first: item occurrences pile into the low
+     tid windows, so per-cell sparse-probe cost falls off steeply along
+     the word axis — the skewed load shape stealing exists for. *)
+  let skewed db =
+    let txs = Array.copy (Db.transactions db) in
+    Array.sort
+      (fun a b -> compare (Itemset.cardinal b) (Itemset.cardinal a))
+      txs;
+    Db.create ~universe:(Db.universe db) txs
+  in
+  let datasets =
+    [
+      ("dense", quest ~universe:100 ~avg:20.);
+      ("sparse", quest ~universe:2_000 ~avg:5.);
+      ("skewed", skewed (quest ~universe:2_000 ~avg:5.));
+    ]
+  in
+  (* Best of several reps of an inner loop, as in B9. *)
+  let time f =
+    let inner = 10 and reps = 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to inner do
+        f ()
+      done;
+      best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int inner)
+    done;
+    !best
+  in
+  let min_support = 0.02 in
+  List.iter
+    (fun (label, db) ->
+      let vt = Vertical.load db in
+      let frequent1 = List.map fst (Apriori.mine db ~min_support ~max_size:1) in
+      let candidates = Apriori.candidates_from ~frequent:frequent1 ~size:2 in
+      let reference = Vertical.support_counts vt candidates in
+      Printf.printf "  [%s] words=%d level-2 candidates=%d\n" label
+        (Vertical.word_count vt) (List.length candidates);
+      Printf.printf "  %-10s %-6s %-12s %-9s %s\n" "sched" "jobs" "seconds"
+        "speedup" "identical to sequential";
+      (* Small cells on purpose: ~7 word windows x ~4 candidate columns
+         gives the schedulers an actual grid to contend over even at this
+         bench-friendly database size. *)
+      let chunk = 12 and cand_chunk = 64 in
+      let base = ref None in
+      List.iter
+        (fun (sname, sched) ->
+          List.iter
+            (fun jobs ->
+              Pool.with_pool ~jobs (fun pool ->
+                  let count () =
+                    Parallel.support_counts_vertical pool ~chunk ~cand_chunk
+                      ~sched vt candidates
+                  in
+                  let got = count () in
+                  let dt = time (fun () -> ignore (count ())) in
+                  if !base = None then base := Some dt;
+                  emit ~section:"b10"
+                    ~name:(Printf.sprintf "count/%s/%s" label sname)
+                    ~jobs ~ns_per_op:(dt *. 1e9) ~throughput:(1. /. dt) ();
+                  Printf.printf "  %-10s %-6d %-12.6f %-9s %s\n" sname jobs dt
+                    (Printf.sprintf "%.2fx" (Option.get !base /. dt))
+                    (if got = reference then "yes"
+                     else "NO — DETERMINISM VIOLATION")))
+            [ 1; 2; 4; 8 ])
+        [ ("chunked", Pool.Chunked); ("stealing", Pool.Stealing) ])
+    datasets;
+  (* Kernel specialization: same dense AND/popcount loop with and without
+     bounds checks, sequential, so the delta is the checks alone. *)
+  let db = quest ~universe:100 ~avg:20. in
+  let vt = Vertical.load db in
+  let scratch = Vertical.make_scratch vt in
+  let frequent1 = List.map fst (Apriori.mine db ~min_support ~max_size:1) in
+  let candidates = Apriori.candidates_from ~frequent:frequent1 ~size:2 in
+  let prepared = Vertical.prepare candidates in
+  let safe_dt =
+    time (fun () -> ignore (Vertical.count_into ~scratch vt prepared))
+  in
+  let unsafe_dt =
+    Fun.protect
+      ~finally:(fun () -> Vertical.set_unsafe_kernels false)
+      (fun () ->
+        Vertical.set_unsafe_kernels true;
+        time (fun () -> ignore (Vertical.count_into ~scratch vt prepared)))
+  in
+  emit ~section:"b10" ~name:"kernels/safe" ~ns_per_op:(safe_dt *. 1e9)
+    ~throughput:(1. /. safe_dt) ();
+  emit ~section:"b10" ~name:"kernels/unsafe" ~ns_per_op:(unsafe_dt *. 1e9)
+    ~throughput:(1. /. unsafe_dt) ();
+  Printf.printf
+    "  kernels (dense, sequential): safe %.6fs   unsafe %.6fs   (%.2fx)\n"
+    safe_dt unsafe_dt (safe_dt /. unsafe_dt)
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -660,7 +771,7 @@ let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
-    ("b6", b6); ("b7", b7); ("b8", b8); ("b9", b9) ]
+    ("b6", b6); ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10) ]
 
 (* Value of `--flag V` anywhere in argv, or None. *)
 let argv_opt flag =

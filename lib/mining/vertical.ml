@@ -32,16 +32,42 @@ let sparse_items t = t.universe - dense_items t
 
 (* All kernels take an explicit word window [wlo, whi) (tid range
    [wlo*62, whi*62)); sparse operands come pre-restricted as an index
-   range into their tid array. *)
+   range into their tid array.
 
-let and_words_card a b ~wlo ~whi =
+   Each AND/popcount/probe kernel exists in two variants: the safe one
+   (bounds-checked array reads) and an [Array.unsafe_get]/[unsafe_set]
+   one, selected per call through the process-global [unsafe_kernels]
+   flag (off by default).  The unsafe variants elide checks that are
+   redundant by construction: [count_into] validates its word window
+   against [n_words], every dense bitmap holds exactly [n_words] words,
+   and a sparse tid is < n so [tid / 62 < n_words].  The differential
+   suite (test_vertical, `ppdm selftest`) holds both variants against
+   each other and against the Bitset reference on every width class. *)
+
+let unsafe_kernels = Atomic.make false
+let set_unsafe_kernels b = Atomic.set unsafe_kernels b
+let unsafe_kernels_enabled () = Atomic.get unsafe_kernels
+
+let and_words_card_safe a b ~wlo ~whi =
   let card = ref 0 in
   for w = wlo to whi - 1 do
     card := !card + Bitset.popcount (a.(w) land b.(w))
   done;
   !card
 
-let and_words_into a b dst ~wlo ~whi =
+let and_words_card_unsafe a b ~wlo ~whi =
+  let card = ref 0 in
+  for w = wlo to whi - 1 do
+    card :=
+      !card + Bitset.popcount (Array.unsafe_get a w land Array.unsafe_get b w)
+  done;
+  !card
+
+let and_words_card a b ~wlo ~whi =
+  if Atomic.get unsafe_kernels then and_words_card_unsafe a b ~wlo ~whi
+  else and_words_card_safe a b ~wlo ~whi
+
+let and_words_into_safe a b dst ~wlo ~whi =
   let card = ref 0 in
   for w = wlo to whi - 1 do
     let v = a.(w) land b.(w) in
@@ -50,8 +76,40 @@ let and_words_into a b dst ~wlo ~whi =
   done;
   !card
 
+let and_words_into_unsafe a b dst ~wlo ~whi =
+  let card = ref 0 in
+  for w = wlo to whi - 1 do
+    let v = Array.unsafe_get a w land Array.unsafe_get b w in
+    Array.unsafe_set dst w v;
+    card := !card + Bitset.popcount v
+  done;
+  !card
+
+let and_words_into a b dst ~wlo ~whi =
+  if Atomic.get unsafe_kernels then and_words_into_unsafe a b dst ~wlo ~whi
+  else and_words_into_safe a b dst ~wlo ~whi
+
+(* Popcount of a single bitmap's window (level-1 candidates). *)
+let popcount_words_safe words ~wlo ~whi =
+  let card = ref 0 in
+  for w = wlo to whi - 1 do
+    card := !card + Bitset.popcount words.(w)
+  done;
+  !card
+
+let popcount_words_unsafe words ~wlo ~whi =
+  let card = ref 0 in
+  for w = wlo to whi - 1 do
+    card := !card + Bitset.popcount (Array.unsafe_get words w)
+  done;
+  !card
+
+let popcount_words words ~wlo ~whi =
+  if Atomic.get unsafe_kernels then popcount_words_unsafe words ~wlo ~whi
+  else popcount_words_safe words ~wlo ~whi
+
 (* Probe the tids [tids.(slo..shi-1)] against a bitmap. *)
-let probe_card words tids ~slo ~shi =
+let probe_card_safe words tids ~slo ~shi =
   let card = ref 0 in
   for idx = slo to shi - 1 do
     let tid = tids.(idx) in
@@ -60,7 +118,24 @@ let probe_card words tids ~slo ~shi =
   done;
   !card
 
-let probe_into words tids ~slo ~shi dst =
+let probe_card_unsafe words tids ~slo ~shi =
+  let card = ref 0 in
+  for idx = slo to shi - 1 do
+    let tid = Array.unsafe_get tids idx in
+    if
+      Array.unsafe_get words (tid / bits_per_word)
+      lsr (tid mod bits_per_word)
+      land 1
+      = 1
+    then incr card
+  done;
+  !card
+
+let probe_card words tids ~slo ~shi =
+  if Atomic.get unsafe_kernels then probe_card_unsafe words tids ~slo ~shi
+  else probe_card_safe words tids ~slo ~shi
+
+let probe_into_safe words tids ~slo ~shi dst =
   let len = ref 0 in
   for idx = slo to shi - 1 do
     let tid = tids.(idx) in
@@ -71,6 +146,26 @@ let probe_into words tids ~slo ~shi dst =
     end
   done;
   !len
+
+let probe_into_unsafe words tids ~slo ~shi dst =
+  let len = ref 0 in
+  for idx = slo to shi - 1 do
+    let tid = Array.unsafe_get tids idx in
+    if
+      Array.unsafe_get words (tid / bits_per_word)
+      lsr (tid mod bits_per_word)
+      land 1
+      = 1
+    then begin
+      Array.unsafe_set dst !len tid;
+      incr len
+    end
+  done;
+  !len
+
+let probe_into words tids ~slo ~shi dst =
+  if Atomic.get unsafe_kernels then probe_into_unsafe words tids ~slo ~shi dst
+  else probe_into_safe words tids ~slo ~shi dst
 
 let merge_card a ~alo ~ahi b ~blo ~bhi =
   let i = ref alo and j = ref blo and k = ref 0 in
@@ -404,11 +499,7 @@ let count_one t scratch ~wlo ~whi ~full items =
         match t.tidsets.(items.(0)) with
         | Dense words ->
             scratch.touched <- scratch.touched + (whi - wlo);
-            let card = ref 0 in
-            for w = wlo to whi - 1 do
-              card := !card + Bitset.popcount words.(w)
-            done;
-            !card
+            popcount_words words ~wlo ~whi
         | Sparse tids ->
             lower_bound tids (whi * bits_per_word)
             - lower_bound tids (wlo * bits_per_word)
@@ -458,10 +549,14 @@ let prepare candidates =
 
 let prepared_length = Array.length
 
-let count_into ?scratch t ?(word_lo = 0) ?word_hi prepared =
+let count_into ?scratch t ?(word_lo = 0) ?word_hi ?(cand_lo = 0) ?cand_hi
+    prepared =
   let word_hi = Option.value word_hi ~default:t.n_words in
   if word_lo < 0 || word_lo > word_hi || word_hi > t.n_words then
     invalid_arg "Vertical.count_into: word window out of range";
+  let cand_hi = Option.value cand_hi ~default:(Array.length prepared) in
+  if cand_lo < 0 || cand_lo > cand_hi || cand_hi > Array.length prepared then
+    invalid_arg "Vertical.count_into: candidate range out of range";
   let scratch =
     match scratch with
     | Some s ->
@@ -476,15 +571,15 @@ let count_into ?scratch t ?(word_lo = 0) ?word_hi prepared =
   scratch.prev_len <- 0;
   scratch.valid_depth <- 0;
   let full = word_lo = 0 && word_hi = t.n_words in
+  (* The range keeps the batch's sort order, so prefix reuse works inside
+     a candidate column exactly as it does over the whole batch. *)
   let out =
-    Array.map
-      (fun c ->
+    Array.init (cand_hi - cand_lo) (fun i ->
         count_one t scratch ~wlo:word_lo ~whi:word_hi ~full
-          (Itemset.unsafe_to_array c))
-      prepared
+          (Itemset.unsafe_to_array prepared.(cand_lo + i)))
   in
   if Ppdm_obs.Metrics.enabled () then begin
-    Ppdm_obs.Metrics.add "vertical.candidates" (Array.length prepared);
+    Ppdm_obs.Metrics.add "vertical.candidates" (cand_hi - cand_lo);
     Ppdm_obs.Metrics.add "vertical.scratch.allocs" (scratch.allocs - allocs0);
     Ppdm_obs.Metrics.add "vertical.words.touched" (scratch.touched - touched0)
   end;
@@ -550,9 +645,7 @@ let count_runs ?scratch t ~runs prepared =
                     Array.iter
                       (fun (wlo, whi) ->
                         scratch.touched <- scratch.touched + (whi - wlo);
-                        for w = wlo to whi - 1 do
-                          card := !card + Bitset.popcount words.(w)
-                        done)
+                        card := !card + popcount_words words ~wlo ~whi)
                       runs;
                     !card
                 | Sparse tids ->

@@ -20,9 +20,17 @@
     intersection per candidate and {e no per-candidate allocation}.
 
     Counting can be restricted to a window of bitmap words
-    ([word_lo..word_hi)], i.e. a tid range): partial counts over disjoint
-    windows sum to the full count, which is how the parallel runtime
-    shards the engine across domains without changing any result. *)
+    ([word_lo..word_hi)], i.e. a tid range) and to a sub-range of the
+    prepared candidate batch ([cand_lo..cand_hi)]): partial counts over
+    disjoint windows sum to the full count, and candidate columns simply
+    concatenate — which is how the parallel runtime shards the engine
+    over a 2-D (tid-window x candidate-range) grid without changing any
+    result.
+
+    The AND/popcount/probe inner loops exist in a safe (bounds-checked)
+    and an [Array.unsafe_get] variant; {!set_unsafe_kernels} flips the
+    process-global selection (default: safe).  Counts are identical —
+    the differential suite enforces it — only the bounds checks go. *)
 
 open Ppdm_data
 
@@ -51,6 +59,17 @@ val item_count : t -> int -> int
 val dense_items : t -> int
 val sparse_items : t -> int
 (** How many items landed in each representation. *)
+
+val set_unsafe_kernels : bool -> unit
+(** Select the bounds-check-free counting kernels (process-global,
+    default [false]).  Safe to flip only at a quiescent point — not while
+    another domain is counting.  Every index the unsafe kernels touch is
+    in bounds by construction ({!count_into} validates its window, dense
+    bitmaps span exactly {!word_count} words, sparse tids are below
+    {!length}), and the kernel differential tests hold both variants to
+    identical outputs on every width class. *)
+
+val unsafe_kernels_enabled : unit -> bool
 
 (** {2 Tid-sets}
 
@@ -101,14 +120,17 @@ val prepare : Itemset.t list -> prepared
 val prepared_length : prepared -> int
 
 val count_into :
-  ?scratch:scratch -> t -> ?word_lo:int -> ?word_hi:int -> prepared ->
-  int array
-(** Support counts in [prepared] order, restricted to transactions whose
-    tid falls in words [word_lo..word_hi) (defaults: the full database).
-    Counts over disjoint windows sum to the full-window counts — the
-    sharding identity the parallel driver relies on.  A candidate
+  ?scratch:scratch -> t -> ?word_lo:int -> ?word_hi:int -> ?cand_lo:int ->
+  ?cand_hi:int -> prepared -> int array
+(** Support counts for candidates [cand_lo..cand_hi) (defaults: the whole
+    batch) in [prepared] order, restricted to transactions whose tid
+    falls in words [word_lo..word_hi) (defaults: the full database).  The
+    result has [cand_hi - cand_lo] entries.  Counts over disjoint windows
+    sum to the full-window counts and candidate columns concatenate — the
+    two sharding identities the parallel 2-D grid relies on.  A candidate
     containing an item outside the universe counts 0, as with the trie.
-    @raise Invalid_argument on a window outside [0, word_count]. *)
+    @raise Invalid_argument on a window outside [0, word_count] or a
+    candidate range outside [0, prepared_length]. *)
 
 val count_runs :
   ?scratch:scratch -> t -> runs:(int * int) array -> prepared -> int array

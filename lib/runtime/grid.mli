@@ -1,0 +1,52 @@
+(** 2-D work-grid planning: cut a (tid-window x candidate-range)
+    rectangle into cache-sized cells for the vertical counting engine.
+
+    A cell is a word window crossed with a candidate sub-range; counting
+    a cell yields partial counts for its candidates over its tids, and
+    because counts over disjoint tid windows are sums of non-negative
+    integers, adding every cell's partials into a totals array — in any
+    order — reconstructs the full-database counts exactly.  The plan is
+    a pure function of [(n_words, n_candidates)] and the explicit chunk
+    overrides, {e never} of the job count (the {!Pool} determinism
+    contract), so the same plan feeds the sequential, chunked, and
+    stealing schedulers and all three produce bit-identical output.
+
+    Sizing (see DESIGN.md §14): word windows target an L2-cache footprint
+    — three live dense windows of 8-byte words in half the budget, i.e.
+    [l2_bytes / 48] words — floored at 256 words and never cutting a
+    small database finer than 64 windows; candidate columns cap the
+    per-cell partial array at 4096 candidates and keep batches under 512
+    candidates in one column. *)
+
+type cell = { word_lo : int; word_hi : int; cand_lo : int; cand_hi : int }
+(** Half-open on both axes: words [word_lo, word_hi), candidate indices
+    [cand_lo, cand_hi) into the prepared batch. *)
+
+type t = { word_chunk : int; cand_chunk : int; cells : cell array }
+(** The resolved chunk sizes and the cells in column-major order (all
+    windows of candidate column 0, then column 1, ...). *)
+
+val default_l2_bytes : int
+(** Per-core L2 budget assumed when [?l2_bytes] is omitted (1 MiB). *)
+
+val word_chunk_for : ?l2_bytes:int -> n_words:int -> unit -> int
+(** The default word-window width: [max 256 (min (l2_bytes / 48)
+    (ceil (n_words / 64)))].
+    @raise Invalid_argument if [l2_bytes <= 0]. *)
+
+val cand_chunk_for : n_candidates:int -> int
+(** The default candidate-column width:
+    [max 512 (min 4096 (ceil (n_candidates / 16)))]. *)
+
+val plan :
+  ?l2_bytes:int ->
+  ?word_chunk:int ->
+  ?cand_chunk:int ->
+  n_words:int ->
+  n_candidates:int ->
+  unit ->
+  t
+(** Cut the rectangle.  Cells partition it exactly: every (word,
+    candidate) pair lands in exactly one cell.
+    @raise Invalid_argument if [n_words <= 0], [n_candidates <= 0], or an
+    explicit chunk is non-positive. *)

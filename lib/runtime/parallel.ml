@@ -55,7 +55,7 @@ let observe_all pool ?(chunk = Pool.default_chunk) ~scheme ~itemset data =
     Stream.merge (Array.to_list (Pool.run pool tasks))
   end
 
-let support_counts pool ?chunk db candidates =
+let support_counts pool ?chunk ?sched db candidates =
   Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
   let txs = Db.transactions db in
   let n = Array.length txs in
@@ -82,7 +82,7 @@ let support_counts pool ?chunk db candidates =
   if candidates = [] then []
   else if n = 0 then Count.to_list (count_range ~pos:0 ~len:0)
   else begin
-    let tries = Pool.run pool (chunk_tasks ~n ~chunk count_range) in
+    let tries = Pool.run ?sched pool (chunk_tasks ~n ~chunk count_range) in
     let merged = tries.(0) in
     for i = 1 to Array.length tries - 1 do
       Count.merge_into merged ~from:tries.(i)
@@ -90,53 +90,62 @@ let support_counts pool ?chunk db candidates =
     Count.to_list merged
   end
 
-(* Tid-range sharding of the vertical engine: domains split the bitmap
-   words, not the candidate list.  Every worker counts the whole batch
-   over its word window into a plain int array; summing the per-window
-   arrays in chunk-index order gives the full-window counts (counts over
-   disjoint tid ranges are sums of non-negative ints, so the result is
-   bit-identical to the sequential count at any job count). *)
-let support_counts_vertical pool ?chunk vt candidates =
+(* 2-D grid sharding of the vertical engine: the (bitmap-word x
+   candidate) rectangle is cut into cache-sized cells by [Grid.plan] —
+   word windows sized to an L2 footprint, candidate columns bounding the
+   per-cell partial array.  Every cell counts its candidate range over
+   its word window into a plain int array; adding each cell's partials
+   into the totals at its column offset, in cell-index order, gives the
+   full counts (counts over disjoint tid ranges are sums of non-negative
+   ints, and columns just concatenate), so the result is bit-identical
+   to the sequential count at any job count and under either scheduler. *)
+let support_counts_vertical pool ?chunk ?cand_chunk ?sched vt candidates =
   Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
   let n_words = Vertical.word_count vt in
-  let chunk =
-    match chunk with
-    | Some c ->
-        if c <= 0 then
-          invalid_arg "Parallel.support_counts_vertical: chunk must be positive";
-        c
-    | None ->
-        (* At most 64 windows, each at least 256 words (~16k tids): wide
-           enough to amortize the per-window candidate walk. *)
-        max 256 ((n_words + 63) / 64)
-  in
+  (match chunk with
+  | Some c when c <= 0 ->
+      invalid_arg "Parallel.support_counts_vertical: chunk must be positive"
+  | _ -> ());
   let prepared = Vertical.prepare candidates in
-  if Vertical.prepared_length prepared = 0 then []
+  let n_cands = Vertical.prepared_length prepared in
+  if n_cands = 0 then []
   else if n_words = 0 then
     Vertical.assemble prepared (Vertical.count_into vt prepared)
   else begin
-    let tasks =
-      chunk_tasks ~n:n_words ~chunk (fun ~pos ~len ->
-          Vertical.count_into vt ~word_lo:pos ~word_hi:(pos + len) prepared)
+    let grid =
+      Grid.plan ?word_chunk:chunk ?cand_chunk ~n_words ~n_candidates:n_cands ()
     in
-    let parts = Pool.run pool tasks in
-    let totals = parts.(0) in
-    for p = 1 to Array.length parts - 1 do
-      let part = parts.(p) in
-      for i = 0 to Array.length totals - 1 do
-        totals.(i) <- totals.(i) + part.(i)
-      done
-    done;
+    let tasks =
+      Array.map
+        (fun (c : Grid.cell) ->
+          fun () ->
+            Vertical.count_into vt ~word_lo:c.Grid.word_lo
+              ~word_hi:c.Grid.word_hi ~cand_lo:c.Grid.cand_lo
+              ~cand_hi:c.Grid.cand_hi prepared)
+        grid.Grid.cells
+    in
+    let parts = Pool.run ?sched pool tasks in
+    let totals = Array.make n_cands 0 in
+    Array.iteri
+      (fun idx part ->
+        let base = grid.Grid.cells.(idx).Grid.cand_lo in
+        for i = 0 to Array.length part - 1 do
+          totals.(base + i) <- totals.(base + i) + part.(i)
+        done)
+      parts;
     Vertical.assemble prepared totals
   end
 
-(* Sampled counting shards exactly like the vertical engine, except the
-   word windows come from the plan's selected runs: each run is cut into
-   sub-windows of at most [chunk] words and the per-window arrays are
-   summed in run order.  The plan itself is fixed before any task runs,
-   so the raw sums — and the scaled counts — are bit-identical to the
-   sequential [Sampled.support_counts] at any job count. *)
-let support_counts_sampled pool ?chunk vt (plan : Sampled.plan) candidates =
+(* Sampled counting shards like the vertical engine, except the word
+   windows come from the plan's selected runs: each run is cut into
+   sub-windows of at most [chunk] words, crossed with the same candidate
+   columns the grid planner would cut, and the per-cell arrays are summed
+   at their column offsets.  The plan itself is fixed before any task
+   runs, so the raw sums — and the scaled counts — are bit-identical to
+   the sequential [Sampled.support_counts] at any job count and under
+   either scheduler. *)
+let support_counts_sampled pool ?chunk ?cand_chunk ?sched vt
+    (plan : Sampled.plan) candidates =
   Ppdm_obs.Span.with_ ~name:"parallel.count" @@ fun () ->
   let selected_words =
     Array.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 plan.Sampled.runs
@@ -151,34 +160,61 @@ let support_counts_sampled pool ?chunk vt (plan : Sampled.plan) candidates =
   in
   let prepared = Vertical.prepare candidates in
   let len = Vertical.prepared_length prepared in
+  let cand_chunk =
+    match cand_chunk with
+    | Some c ->
+        if c <= 0 then
+          invalid_arg
+            "Parallel.support_counts_sampled: cand_chunk must be positive";
+        c
+    | None -> if len = 0 then 1 else Grid.cand_chunk_for ~n_candidates:len
+  in
   if len = 0 then []
   else if selected_words = 0 then Vertical.assemble prepared (Array.make len 0)
   else begin
-    let tasks = ref [] in
+    let windows = ref [] in
     Array.iter
       (fun (lo, hi) ->
         let pos = ref lo in
         while !pos < hi do
           let wlo = !pos in
           let whi = min hi (wlo + chunk) in
-          tasks :=
-            (fun () -> Vertical.count_into vt ~word_lo:wlo ~word_hi:whi prepared)
-            :: !tasks;
+          windows := (wlo, whi) :: !windows;
           pos := whi
         done)
       plan.Sampled.runs;
-    let parts = Pool.run pool (Array.of_list (List.rev !tasks)) in
-    let totals = parts.(0) in
-    for p = 1 to Array.length parts - 1 do
-      let part = parts.(p) in
-      for i = 0 to len - 1 do
-        totals.(i) <- totals.(i) + part.(i)
-      done
-    done;
+    let windows = Array.of_list (List.rev !windows) in
+    let columns = (len + cand_chunk - 1) / cand_chunk in
+    let n_windows = Array.length windows in
+    let cells =
+      Array.init (n_windows * columns) (fun idx ->
+          let col = idx / n_windows and win = idx mod n_windows in
+          let wlo, whi = windows.(win) in
+          let clo = col * cand_chunk in
+          let chi = min len ((col + 1) * cand_chunk) in
+          (wlo, whi, clo, chi))
+    in
+    let tasks =
+      Array.map
+        (fun (wlo, whi, clo, chi) ->
+          fun () ->
+            Vertical.count_into vt ~word_lo:wlo ~word_hi:whi ~cand_lo:clo
+              ~cand_hi:chi prepared)
+        cells
+    in
+    let parts = Pool.run ?sched pool tasks in
+    let totals = Array.make len 0 in
+    Array.iteri
+      (fun idx part ->
+        let _, _, base, _ = cells.(idx) in
+        for i = 0 to Array.length part - 1 do
+          totals.(base + i) <- totals.(base + i) + part.(i)
+        done)
+      parts;
     Vertical.assemble prepared (Sampled.scale_counts plan totals)
   end
 
-let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
+let apriori_mine pool ?chunk ?sched ?max_size ?(counter = Apriori.Trie) db
     ~min_support =
   if min_support <= 0. || min_support > 1. then
     invalid_arg "Parallel.apriori_mine: min_support out of (0,1]";
@@ -187,12 +223,13 @@ let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
     match Apriori.resolve_counter counter db with
     | `Trie ->
         Ppdm_obs.Metrics.incr "apriori.counter.trie";
-        fun candidates -> support_counts pool ?chunk db candidates
+        fun candidates -> support_counts pool ?chunk ?sched db candidates
     | `Vertical ->
         Ppdm_obs.Metrics.incr "apriori.counter.vertical";
         let state = lazy (Vertical.load db) in
         fun candidates ->
-          support_counts_vertical pool ?chunk (Lazy.force state) candidates
+          support_counts_vertical pool ?chunk ?sched (Lazy.force state)
+            candidates
     | `Sampled (fraction, seed) ->
         Ppdm_obs.Metrics.incr "apriori.counter.sampled";
         let state =
@@ -206,7 +243,7 @@ let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
         in
         fun candidates ->
           let vt, plan = Lazy.force state in
-          support_counts_sampled pool ?chunk vt plan candidates
+          support_counts_sampled pool ?chunk ?sched vt plan candidates
   in
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
   let cap = Option.value max_size ~default:max_int in
@@ -238,7 +275,7 @@ let apriori_mine pool ?chunk ?max_size ?(counter = Apriori.Trie) db
   let result = if cap < 1 then [] else levels level1 level1 2 in
   List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
 
-let eclat_mine pool ?max_size db ~min_support =
+let eclat_mine pool ?sched ?max_size db ~min_support =
   Ppdm_obs.Span.with_ ~name:"parallel.eclat" @@ fun () ->
   let atoms = Eclat.atoms db ~min_support in
   let n = Eclat.atom_count atoms in
@@ -253,7 +290,7 @@ let eclat_mine pool ?max_size db ~min_support =
           let lo = i * n / pieces and hi = (i + 1) * n / pieces in
           fun () -> Eclat.mine_atoms ?max_size atoms ~lo ~hi)
     in
-    let parts = Pool.run pool tasks in
+    let parts = Pool.run ?sched pool tasks in
     List.sort
       (fun (a, _) (b, _) -> Itemset.compare a b)
       (List.concat (Array.to_list parts))

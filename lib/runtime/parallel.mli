@@ -3,8 +3,11 @@
 
     Every function here returns {e exactly} what its sequential
     counterpart in the same module family returns — bit-identical at any
-    job count, per the {!Pool} determinism contract — so callers opt into
-    parallelism by swapping the call site, nothing else.
+    job count {e and under either scheduler} ([?sched], defaulting to
+    {!Pool.Chunked}), per the {!Pool} determinism contract — so callers
+    opt into parallelism by swapping the call site, nothing else.  The
+    counting functions shard over a {!Grid} plan that depends only on
+    the data shape, never on the job count or scheduler.
 
     Two caveats inherited from the seeding scheme:
 
@@ -42,55 +45,63 @@ val observe_all :
     deterministic, so no seeding is involved). *)
 
 val support_counts :
-  Pool.t -> ?chunk:int -> Db.t -> Itemset.t list -> (Itemset.t * int) list
+  Pool.t -> ?chunk:int -> ?sched:Pool.sched -> Db.t -> Itemset.t list ->
+  (Itemset.t * int) list
 (** Sharded [Count.support_counts]: one counting trie per database chunk,
     merged with [Count.merge_into].  When [?chunk] is omitted the chunk
     size is scaled so at most 64 tries are built (counts are sums, so
     unlike randomization the chunking cannot affect the result). *)
 
 val support_counts_vertical :
-  Pool.t -> ?chunk:int -> Ppdm_mining.Vertical.t -> Itemset.t list ->
-  (Itemset.t * int) list
-(** Tid-range-sharded [Vertical.support_counts]: domains split the bitmap
-    {e words} (each worker counts the whole candidate batch over a window
-    of [chunk] words into an int array) rather than the candidate list,
-    and the per-window count arrays are summed in chunk-index order.
-    Counts over disjoint tid ranges add up exactly, so the output is
-    bit-identical to the sequential engine at any job count.  When
-    [?chunk] is omitted at most 64 windows of at least 256 words each are
-    cut.
-    @raise Invalid_argument if [chunk <= 0] or a candidate is empty. *)
+  Pool.t -> ?chunk:int -> ?cand_chunk:int -> ?sched:Pool.sched ->
+  Ppdm_mining.Vertical.t -> Itemset.t list -> (Itemset.t * int) list
+(** 2-D-grid-sharded [Vertical.support_counts]: {!Grid.plan} cuts the
+    (bitmap-word x candidate) rectangle into cells of [chunk] words by
+    [cand_chunk] candidates (defaults: L2-cache-sized windows and at most
+    16 candidate columns — see {!Grid}), each cell counts its candidate
+    range over its word window into an int array, and the per-cell arrays
+    are added into the totals at their column offsets in cell-index
+    order.  Counts over disjoint tid ranges add up exactly and candidate
+    columns concatenate, so the output is bit-identical to the sequential
+    engine at any job count and under either scheduler.
+    @raise Invalid_argument if a chunk is non-positive or a candidate is
+    empty. *)
 
 val support_counts_sampled :
-  Pool.t -> ?chunk:int -> Ppdm_mining.Vertical.t ->
-  Ppdm_mining.Sampled.plan -> Itemset.t list -> (Itemset.t * int) list
+  Pool.t -> ?chunk:int -> ?cand_chunk:int -> ?sched:Pool.sched ->
+  Ppdm_mining.Vertical.t -> Ppdm_mining.Sampled.plan -> Itemset.t list ->
+  (Itemset.t * int) list
 (** Sharded [Sampled.support_counts]: the plan's selected word runs are
-    cut into sub-windows of at most [chunk] words, counted like
-    {!support_counts_vertical}, summed in run order, then scaled to
+    cut into sub-windows of at most [chunk] words, crossed with candidate
+    columns of [cand_chunk] (defaulting like {!support_counts_vertical}),
+    counted per cell, summed at column offsets, then scaled to
     full-database equivalents.  The plan is fixed before fan-out, so the
     output is bit-identical to the sequential sampled count at any job
-    count.
-    @raise Invalid_argument if [chunk <= 0] or a candidate is empty. *)
+    count and under either scheduler.
+    @raise Invalid_argument if a chunk is non-positive or a candidate is
+    empty. *)
 
 val apriori_mine :
-  Pool.t -> ?chunk:int -> ?max_size:int -> ?counter:Ppdm_mining.Apriori.counter ->
-  Db.t -> min_support:float -> (Itemset.t * int) list
+  Pool.t -> ?chunk:int -> ?sched:Pool.sched -> ?max_size:int ->
+  ?counter:Ppdm_mining.Apriori.counter -> Db.t -> min_support:float ->
+  (Itemset.t * int) list
 (** [Apriori.mine] with every level's candidate counting sharded through
     {!support_counts} ([counter = Trie], the default),
     {!support_counts_vertical} ([counter = Vertical]), or
     {!support_counts_sampled} ([counter = Sampled _]; [Auto] resolves via
     [Apriori.resolve_counter]).  [?chunk] is in transactions for the trie
-    and in bitmap words for the vertical and sampled engines.  Candidate
-    generation and thresholding replicate [Apriori] exactly
+    and in bitmap words for the vertical and sampled engines; [?sched]
+    picks the {!Pool} scheduler for every level.  Candidate generation
+    and thresholding replicate [Apriori] exactly
     ([Apriori.absolute_threshold], [Apriori.level1],
     [Apriori.candidates_from]), and the mined output is byte-identical
-    across exact engines and job counts (sampled output matches the
-    sequential sampled run for the same fraction and seed).
+    across exact engines, job counts, and schedulers (sampled output
+    matches the sequential sampled run for the same fraction and seed).
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
 val eclat_mine :
-  Pool.t -> ?max_size:int -> Db.t -> min_support:float ->
-  (Itemset.t * int) list
+  Pool.t -> ?sched:Pool.sched -> ?max_size:int -> Db.t ->
+  min_support:float -> (Itemset.t * int) list
 (** [Eclat.mine] with the independent prefix classes fanned out across
     domains ([Eclat.mine_atoms] over atom ranges).  The output set is
     range-independent and gets the same final sort, so the partitioning

@@ -10,6 +10,7 @@ type config = {
   linger_ns : int;
   queue_capacity : int;
   max_frame : int;
+  sched : Pool.sched;
   scheme : Randomizer.t;
   itemsets : Itemset.t list;
 }
@@ -23,6 +24,7 @@ let default_config ~scheme ~itemsets =
     linger_ns = 0;
     queue_capacity = 4096;
     max_frame = Framing.default_max_frame;
+    sched = Pool.Chunked;
     scheme;
     itemsets;
   }
@@ -215,7 +217,7 @@ let serve_on listener sh =
   (* Every stage is a long-lived task, so the pool is sized to run them
      all at once: 1 acceptor + jobs workers + shards folders. *)
   Pool.with_pool ~jobs:(Array.length tasks) (fun pool ->
-      ignore (Pool.run pool tasks));
+      ignore (Pool.run ~sched:config.sched pool tasks));
   { reports = shared_folded sh; sessions = Atomic.get sh.sessions }
 
 (* ------------------------------------------------------------- handles *)

@@ -225,6 +225,168 @@ let test_pool_survives_exception () =
         (Array.init 8 (fun i -> i * i))
         again)
 
+(* Stealing scheduler: bit-identical mining output at every job count,
+   under a word chunk small enough to cut many grid cells. *)
+let test_stealing_mine_identical () =
+  let db = setup_db ~seed:61 in
+  let expected =
+    Apriori.mine ~counter:Apriori.Vertical db ~min_support:0.02 ~max_size:3
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun (sname, sched) ->
+          let got =
+            Pool.with_pool ~jobs (fun pool ->
+                Parallel.apriori_mine pool ~chunk:7 ~sched
+                  ~counter:Apriori.Vertical db ~min_support:0.02 ~max_size:3)
+          in
+          check_itemsets_equal
+            (Printf.sprintf "%s at jobs=%d" sname jobs)
+            expected got)
+        [ ("chunked", Pool.Chunked); ("stealing", Pool.Stealing) ])
+    [ 1; 2; 4; 8 ]
+
+(* A candidate chunk of 1 forces one grid column per candidate: the
+   column-offset reduction is exercised on every cell shape. *)
+let test_grid_columns_identical () =
+  let db = setup_db ~seed:62 in
+  let vt = Vertical.load db in
+  let candidates =
+    List.map fst (Apriori.mine db ~min_support:0.03 ~max_size:2)
+  in
+  let expected = Vertical.support_counts vt candidates in
+  List.iter
+    (fun (chunk, cand_chunk) ->
+      let got =
+        Pool.with_pool ~jobs:4 (fun pool ->
+            Parallel.support_counts_vertical pool ~chunk ~cand_chunk
+              ~sched:Pool.Stealing vt candidates)
+      in
+      check_itemsets_equal
+        (Printf.sprintf "grid %dx%d" chunk cand_chunk)
+        expected got)
+    [ (5, 1); (1, 7); (13, 13); (1_000_000, 1_000_000) ]
+
+let test_stealing_pool_survives_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let failing =
+        Array.init 16 (fun i ->
+            fun () -> if i = 7 then failwith "stolen boom" else i)
+      in
+      Alcotest.check_raises "exception propagates" (Failure "stolen boom")
+        (fun () -> ignore (Pool.run ~sched:Pool.Stealing pool failing));
+      let again =
+        Pool.run ~sched:Pool.Stealing pool
+          (Array.init 8 (fun i -> fun () -> i * i))
+      in
+      Alcotest.(check (array int)) "stealing run works after failure"
+        (Array.init 8 (fun i -> i * i))
+        again)
+
+(* Grid planning: exact partition, column-major cell order, and the
+   documented defaults. *)
+let test_grid_plan () =
+  let g =
+    Grid.plan ~word_chunk:10 ~cand_chunk:100 ~n_words:25 ~n_candidates:250 ()
+  in
+  Alcotest.(check int) "3 windows x 3 columns" 9 (Array.length g.Grid.cells);
+  let cover = Array.make_matrix 25 250 0 in
+  Array.iter
+    (fun (c : Grid.cell) ->
+      for w = c.Grid.word_lo to c.Grid.word_hi - 1 do
+        for q = c.Grid.cand_lo to c.Grid.cand_hi - 1 do
+          cover.(w).(q) <- cover.(w).(q) + 1
+        done
+      done)
+    g.Grid.cells;
+  Array.iteri
+    (fun w row ->
+      Array.iteri
+        (fun q hits ->
+          if hits <> 1 then
+            Alcotest.failf "cell (%d,%d) covered %d times" w q hits)
+        row)
+    cover;
+  let c0 = g.Grid.cells.(0) and c1 = g.Grid.cells.(1) in
+  Alcotest.(check (list int))
+    "column-major: second cell is the next window of column 0"
+    [ 0; 0; 10; 0 ]
+    [ c0.Grid.word_lo; c0.Grid.cand_lo; c1.Grid.word_lo; c1.Grid.cand_lo ];
+  Alcotest.(check int) "small db keeps the 1-D default" 256
+    (Grid.word_chunk_for ~n_words:100 ());
+  Alcotest.(check int) "huge db capped by the L2 budget"
+    (Grid.default_l2_bytes / 48)
+    (Grid.word_chunk_for ~n_words:10_000_000 ());
+  Alcotest.(check int) "small batch stays one column" 512
+    (Grid.cand_chunk_for ~n_candidates:100);
+  Alcotest.(check int) "huge batch capped at 4096" 4096
+    (Grid.cand_chunk_for ~n_candidates:1_000_000);
+  Alcotest.check_raises "n_words must be positive"
+    (Invalid_argument "Grid.plan: n_words must be positive") (fun () ->
+      ignore (Grid.plan ~n_words:0 ~n_candidates:1 ()));
+  Alcotest.check_raises "word_chunk must be positive"
+    (Invalid_argument "Grid.plan: word_chunk must be positive") (fun () ->
+      ignore (Grid.plan ~word_chunk:0 ~n_words:1 ~n_candidates:1 ()));
+  Alcotest.check_raises "l2_bytes must be positive"
+    (Invalid_argument "Grid: l2_bytes must be positive") (fun () ->
+      ignore (Grid.word_chunk_for ~l2_bytes:0 ~n_words:1 ()))
+
+(* Queue-wait accounting under stealing: a stolen task's wait must land
+   on the histogram of the worker that executed it.  Task 0 parks the
+   caller (worker 0) until task 1 has run, so worker 1 must steal at
+   least one of worker 0's remaining tasks before the batch can finish —
+   and its per-worker histogram must therefore hold more than its own
+   three tasks. *)
+let test_stealing_wait_accounting () =
+  Ppdm_obs.Metrics.set_enabled true;
+  Ppdm_obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ppdm_obs.Metrics.set_enabled false;
+      Ppdm_obs.Metrics.reset ())
+    (fun () ->
+      let unblock = Atomic.make false in
+      let timed_out = ref false in
+      let task i () =
+        if i = 0 then begin
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            (not (Atomic.get unblock)) && Unix.gettimeofday () < deadline
+          do
+            Domain.cpu_relax ()
+          done;
+          if not (Atomic.get unblock) then timed_out := true
+        end
+        else if i = 1 then Atomic.set unblock true
+      in
+      Pool.with_pool ~jobs:2 (fun pool ->
+          ignore (Pool.run ~sched:Pool.Stealing pool (Array.init 6 task)));
+      Alcotest.(check bool) "a steal released the parked owner" false
+        !timed_out;
+      let snap = Ppdm_obs.Metrics.snapshot () in
+      let counter name =
+        match List.assoc_opt name snap.Ppdm_obs.Metrics.counters with
+        | Some v -> v
+        | None -> 0
+      in
+      let hist_count name =
+        match List.assoc_opt name snap.Ppdm_obs.Metrics.histograms with
+        | Some h -> h.Ppdm_obs.Metrics.count
+        | None -> 0
+      in
+      Alcotest.(check bool) "steals recorded" true (counter "pool.steals" >= 1);
+      Alcotest.(check int) "every wait observed once" 6
+        (hist_count "pool.queue_wait_ns");
+      Alcotest.(check int) "per-worker waits partition the total" 6
+        (hist_count "pool.queue_wait_ns.w0"
+        + hist_count "pool.queue_wait_ns.w1");
+      Alcotest.(check bool)
+        "the thief's histogram holds its slice plus the stolen work" true
+        (hist_count "pool.queue_wait_ns.w1" >= 4);
+      Alcotest.(check int) "per-worker cell counts partition the batch" 6
+        (counter "pool.cells.w0" + counter "pool.cells.w1"))
+
 let test_pool_edge_cases () =
   (* jobs <= 1 spawns nothing and still works; empty inputs are fine *)
   Pool.with_pool ~jobs:0 (fun pool ->
@@ -268,5 +430,14 @@ let suite =
       test_map_reduce_advances_rng;
     Alcotest.test_case "pool survives worker exception" `Quick
       test_pool_survives_exception;
+    Alcotest.test_case "stealing mine = sequential at jobs 1/2/4/8" `Quick
+      test_stealing_mine_identical;
+    Alcotest.test_case "grid columns reduce identically" `Quick
+      test_grid_columns_identical;
+    Alcotest.test_case "stealing pool survives worker exception" `Quick
+      test_stealing_pool_survives_exception;
+    Alcotest.test_case "grid plan partitions exactly" `Quick test_grid_plan;
+    Alcotest.test_case "stolen waits land on the executing worker" `Quick
+      test_stealing_wait_accounting;
     Alcotest.test_case "pool edge cases" `Quick test_pool_edge_cases;
   ]

@@ -283,6 +283,118 @@ let test_parallel_sharding_determinism () =
                ~min_support:0.05 ~max_size:3)))
     [ 1; 2; 4 ]
 
+(* Unsafe-kernel differential (the --unsafe-kernels flag): on widths one
+   short of a word, exactly a word, one past it, two words, and a
+   4096-tid run — with all-one words, all-zero words, alternating bits,
+   window endpoints, and a genuinely sparse item — the bounds-check-free
+   kernels must agree with the safe ones and with the trie, for every
+   representation mix. *)
+let test_unsafe_kernel_differential () =
+  List.iter
+    (fun n ->
+      let db =
+        db_of_tidsets ~universe:5 ~n
+          [
+            List.init n Fun.id;
+            [];
+            List.filter (fun t -> t mod 2 = 0) (List.init n Fun.id);
+            [ 0; n - 1 ];
+            List.filter (fun t -> t mod 97 = 0) (List.init n Fun.id);
+          ]
+      in
+      let candidates =
+        List.concat_map
+          (fun k ->
+            Itemset.subsets_of_size (Itemset.of_list (List.init 5 Fun.id)) k)
+          [ 1; 2; 3 ]
+      in
+      let reference = Count.support_counts db candidates in
+      List.iter
+        (fun cutoff ->
+          let vt =
+            match cutoff with
+            | None -> Vertical.load db
+            | Some c -> Vertical.load ~dense_cutoff:c db
+          in
+          Fun.protect
+            ~finally:(fun () -> Vertical.set_unsafe_kernels false)
+            (fun () ->
+              List.iter
+                (fun unsafe ->
+                  Vertical.set_unsafe_kernels unsafe;
+                  Alcotest.(check bool) "flag readable" unsafe
+                    (Vertical.unsafe_kernels_enabled ());
+                  check_same_result
+                    (Printf.sprintf "n=%d cutoff=%s unsafe=%b" n
+                       (match cutoff with
+                       | None -> "default"
+                       | Some c -> string_of_float c)
+                       unsafe)
+                    reference
+                    (Vertical.support_counts vt candidates))
+                [ false; true ]))
+        [ None; Some 0.; Some 1.1 ])
+    [ 61; 62; 63; 124; 4096 ]
+
+(* Candidate columns: a [cand_lo, cand_hi) restriction returns exactly
+   that slice of the full result, columns concatenate, and 2-D cells
+   (word window x candidate column) sum back to the full counts. *)
+let test_candidate_ranges () =
+  let rng = Ppdm_prng.Rng.create ~seed:616 () in
+  let universe = 9 and n = 300 in
+  let rows =
+    List.init n (fun _ ->
+        List.filter
+          (fun _ -> Ppdm_prng.Rng.int rng 3 = 0)
+          (List.init universe Fun.id))
+  in
+  let db = mk universe rows in
+  let vt = Vertical.load db in
+  let candidates =
+    List.concat_map
+      (fun k ->
+        Itemset.subsets_of_size (Itemset.of_list (List.init universe Fun.id)) k)
+      [ 1; 2; 3 ]
+  in
+  let prepared = Vertical.prepare candidates in
+  let len = Vertical.prepared_length prepared in
+  let full = Vertical.count_into vt prepared in
+  let parts = ref [] in
+  let pos = ref 0 in
+  while !pos < len do
+    let hi = min len (!pos + 5) in
+    parts := Vertical.count_into vt ~cand_lo:!pos ~cand_hi:hi prepared :: !parts;
+    pos := hi
+  done;
+  Alcotest.(check (array int))
+    "columns concatenate" full
+    (Array.concat (List.rev !parts));
+  let nw = Vertical.word_count vt in
+  let totals = Array.make len 0 in
+  let wpos = ref 0 in
+  while !wpos < nw do
+    let whi = min nw (!wpos + 3) in
+    let cpos = ref 0 in
+    while !cpos < len do
+      let chi = min len (!cpos + 7) in
+      let base = !cpos in
+      let part =
+        Vertical.count_into vt ~word_lo:!wpos ~word_hi:whi ~cand_lo:base
+          ~cand_hi:chi prepared
+      in
+      Array.iteri (fun i c -> totals.(base + i) <- totals.(base + i) + c) part;
+      cpos := chi
+    done;
+    wpos := whi
+  done;
+  Alcotest.(check (array int)) "2-D cells sum to full" full totals;
+  Alcotest.(check (array int)) "empty column" [||]
+    (Vertical.count_into vt ~cand_lo:3 ~cand_hi:3 prepared);
+  Alcotest.check_raises "candidate range out of range"
+    (Invalid_argument "Vertical.count_into: candidate range out of range")
+    (fun () ->
+      ignore (Vertical.count_into vt ~cand_lo:0 ~cand_hi:(len + 1) prepared))
+
 let test_eclat_hybrid_parity () =
   let rng = Ppdm_prng.Rng.create ~seed:808 () in
   for round = 1 to 6 do
@@ -367,6 +479,10 @@ let suite =
       test_word_window_sums;
     Alcotest.test_case "tid-range sharding determinism at jobs 1/2/4" `Quick
       test_parallel_sharding_determinism;
+    Alcotest.test_case "unsafe kernels differential on width classes" `Quick
+      test_unsafe_kernel_differential;
+    Alcotest.test_case "candidate ranges slice and concatenate" `Quick
+      test_candidate_ranges;
     Alcotest.test_case "eclat hybrid tid-set parity" `Quick
       test_eclat_hybrid_parity;
     Alcotest.test_case "warm scratch allocates nothing" `Quick
