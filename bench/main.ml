@@ -761,6 +761,178 @@ let b10 () =
     "  kernels (dense, sequential): safe %.6fs   unsafe %.6fs   (%.2fx)\n"
     safe_dt unsafe_dt (safe_dt /. unsafe_dt)
 
+let b11 () =
+  header "B11 Telemetry cost: scrape rendering and admin-plane ingest overhead";
+  let time f =
+    let inner = 10 and reps = 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to inner do
+        f ()
+      done;
+      best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int inner)
+    done;
+    !best
+  in
+  (* Scrape cost on a deliberately populated registry: the exposition is
+     rendered on demand per GET, so this prices one scrape (and one
+     consumer-side validate) — work that happens on the admin loop's
+     domain, never on the data path. *)
+  Ppdm_obs.Metrics.reset ();
+  Ppdm_obs.Window.reset ();
+  Ppdm_obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ppdm_obs.Metrics.set_enabled false;
+      Ppdm_obs.Metrics.reset ();
+      Ppdm_obs.Window.reset ())
+    (fun () ->
+      for s = 0 to 7 do
+        Ppdm_obs.Metrics.gauge
+          (Printf.sprintf "server.queue.depth.s%d" s)
+          (float_of_int (s * 11));
+        Ppdm_obs.Metrics.add
+          (Printf.sprintf "pool.busy_ns.w%d" s)
+          ((s + 1) * 1_000_000)
+      done;
+      Ppdm_obs.Exposition.note_start ~now:0 ();
+      for i = 1 to 10_000 do
+        Ppdm_obs.Metrics.observe "server.fold.latency_ns" (i * 97);
+        Ppdm_obs.Window.observe ~now:(i * 1_000_000) "server.fold.latency_ns"
+          (i * 97);
+        Ppdm_obs.Window.mark ~now:(i * 1_000_000) "server.ingest" 3
+      done;
+      Ppdm_obs.Metrics.add "server.reports" 30_000;
+      let now = 10_000 * 1_000_000 in
+      let body = Ppdm_obs.Exposition.render ~now () in
+      let render_dt =
+        time (fun () -> ignore (Ppdm_obs.Exposition.render ~now ()))
+      in
+      let validate_dt =
+        time (fun () ->
+            match Ppdm_obs.Exposition.validate body with
+            | Ok _ -> ()
+            | Error e -> failwith ("b11: rendered registry invalid: " ^ e))
+      in
+      emit ~section:"b11" ~name:"scrape/render" ~ns_per_op:(render_dt *. 1e9)
+        ~throughput:(1. /. render_dt) ();
+      emit ~section:"b11" ~name:"scrape/validate"
+        ~ns_per_op:(validate_dt *. 1e9) ~throughput:(1. /. validate_dt) ();
+      Printf.printf
+        "scrape: render %.0fus   validate %.0fus   (%d bytes, 10k-sample \
+         histograms)\n"
+        (render_dt *. 1e6) (validate_dt *. 1e6)
+        (String.length body));
+  (* Ingest throughput with the admin plane off vs on (1ms sampler — 1000x
+     the default rate — plus live metrics recording on the fold path).
+     This is the B8 loopback pipeline at one fixed operating point; the
+     acceptance bar is an overhead within run-to-run noise. *)
+  let universe = 200 and size = 5 and count = 20_000 in
+  let scheme = Randomizer.uniform ~universe ~p_keep:0.7 ~p_add:0.02 in
+  let rng = Rng.create ~seed:31 () in
+  let db = Ppdm_datagen.Simple.fixed_size rng ~universe ~size ~count in
+  let data = Randomizer.apply_db_tagged scheme rng db in
+  let itemsets = [ Itemset.of_list [ 0; 1 ]; Itemset.of_list [ 2 ] ] in
+  let clients = 2 in
+  let run ~admin =
+    let server =
+      Ppdm_server.Serve.start
+        {
+          (Ppdm_server.Serve.default_config ~scheme ~itemsets) with
+          jobs = clients;
+          shards = 2;
+          batch = 256;
+          admin_port = (if admin then Some 0 else None);
+          sampler_period_ns = 1_000_000;
+        }
+    in
+    let port = Ppdm_server.Serve.port server in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init clients (fun i ->
+          Domain.spawn (fun () ->
+              let c = Ppdm_server.Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Ppdm_server.Client.close c)
+                (fun () ->
+                  ignore
+                    (Ppdm_server.Client.handshake c ~scheme ~sizes:[ size ] ());
+                  let lo = i * count / clients
+                  and hi = (i + 1) * count / clients in
+                  for j = lo to hi - 1 do
+                    let sz, y = data.(j) in
+                    Ppdm_server.Client.report c ~size:sz y
+                  done;
+                  ignore (Ppdm_server.Client.snapshot c ~flush:false))))
+    in
+    List.iter Domain.join domains;
+    ignore (Ppdm_server.Serve.snapshot_estimates server ~flush:true);
+    let dt = Unix.gettimeofday () -. t0 in
+    (* one live scrape round-trip while the server is still up *)
+    let scrape_dt =
+      match Ppdm_server.Serve.admin_port server with
+      | None -> None
+      | Some aport ->
+          let t0 = Unix.gettimeofday () in
+          (match Ppdm_server.Admin.fetch ~port:aport "/metrics" with
+          | Ok (200, _) -> ()
+          | Ok (status, _) -> failwith (Printf.sprintf "b11: scrape %d" status)
+          | Error e -> failwith ("b11: scrape: " ^ e));
+          Some (Unix.gettimeofday () -. t0)
+    in
+    let stats = Ppdm_server.Serve.stop server in
+    (dt, stats.Ppdm_server.Serve.reports, scrape_dt)
+  in
+  ignore (run ~admin:false) (* warm-up *);
+  (* Best of 3: loopback runs are noisy and the question here is the
+     floor cost of the telemetry, not queueing jitter. *)
+  let best_run ~admin =
+    let best = ref (run ~admin) in
+    for _ = 2 to 3 do
+      let ((dt, _, _) as r) = run ~admin in
+      let bdt, _, _ = !best in
+      if dt < bdt then best := r
+    done;
+    !best
+  in
+  let report label (dt, folded, scrape) =
+    let per_sec = float_of_int folded /. Float.max 1e-9 dt in
+    emit ~section:"b11"
+      ~name:(Printf.sprintf "ingest/admin=%s" label)
+      ~jobs:clients
+      ~ns_per_op:(dt *. 1e9 /. float_of_int folded)
+      ~throughput:per_sec ();
+    Printf.printf "ingest admin=%-4s %.3fs   %.0f reports/s   folded %d%s\n"
+      label dt per_sec folded
+      (match scrape with
+      | None -> ""
+      | Some s -> Printf.sprintf "   (live scrape %.1fms)" (s *. 1e3));
+    dt
+  in
+  let off_dt = report "off" (best_run ~admin:false) in
+  (* metrics recording on but no admin plane: the --stats baseline the
+     admin increment should be judged against *)
+  let stats_dt =
+    Ppdm_obs.Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Ppdm_obs.Metrics.set_enabled false;
+        Ppdm_obs.Metrics.reset ();
+        Ppdm_obs.Window.reset ())
+      (fun () -> report "stats" (best_run ~admin:false))
+  in
+  let on_dt = report "on" (best_run ~admin:true) in
+  Printf.printf
+    "overhead vs off: metrics recording %+.1f%%   full admin plane %+.1f%%   \
+     (admin increment over recording %+.1f%%)\n"
+    ((stats_dt /. off_dt -. 1.) *. 100.)
+    ((on_dt /. off_dt -. 1.) *. 100.)
+    ((on_dt /. stats_dt -. 1.) *. 100.);
+  print_endline
+    "(loopback run-to-run noise swamps single-digit percentages; judge \
+     overhead across several runs)"
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -771,7 +943,8 @@ let sections =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
-    ("b6", b6); ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10) ]
+    ("b6", b6); ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10);
+    ("b11", b11) ]
 
 (* Value of `--flag V` anywhere in argv, or None. *)
 let argv_opt flag =

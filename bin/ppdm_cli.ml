@@ -687,8 +687,25 @@ let serve_cmd =
       & info [ "singletons" ] ~docv:"N"
           ~doc:"Also track the first N singleton itemsets.")
   in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ]
+          ~doc:
+            "Also serve the admin plane (GET /metrics, /healthz, /readyz \
+             over HTTP/1.0) on this loopback port; 0 picks an ephemeral \
+             one.  Enables metrics recording and the periodic sampler for \
+             the server's lifetime.")
+  in
+  let sampler_period =
+    Arg.(
+      value & opt int 1000
+      & info [ "sampler-period-ms" ]
+          ~doc:"Admin sampler period in milliseconds (min 1).")
+  in
   let run port jobs sched shards batch queue_capacity max_frame spec universe
-      itemsets singletons stats trace =
+      itemsets singletons admin_port sampler_period stats trace =
     with_obs stats trace @@ fun () ->
     let scheme = scheme_of_spec ~universe spec in
     let tracked =
@@ -710,6 +727,8 @@ let serve_cmd =
         batch;
         queue_capacity;
         max_frame;
+        admin_port;
+        sampler_period_ns = max 1 sampler_period * 1_000_000;
       }
     in
     let stats =
@@ -721,6 +740,12 @@ let serve_cmd =
              %!"
             port (Randomizer.name scheme) (List.length tracked) (max 1 jobs)
             shards batch)
+        ~admin_ready:(fun port ->
+          Printf.printf
+            "ppdm serve: admin plane on 127.0.0.1:%d (/metrics /healthz \
+             /readyz)\n\
+             %!"
+            port)
     in
     Printf.printf "ppdm serve: stopped after %d sessions, %d reports folded\n"
       stats.Ppdm_server.Serve.sessions stats.Ppdm_server.Serve.reports
@@ -736,7 +761,7 @@ let serve_cmd =
     Term.(
       const run $ port_term $ jobs_term $ sched_term $ shards $ batch
       $ queue_capacity $ max_frame $ operator_term $ universe $ itemsets
-      $ singletons $ stats_term $ trace_term)
+      $ singletons $ admin_port $ sampler_period $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- load *)
 
@@ -821,6 +846,182 @@ let load_cmd =
       const run $ port_term $ clients $ count $ size $ operator_term
       $ universe $ seed_term $ do_shutdown $ stats_term $ trace_term)
 
+(* ----------------------------------------------------------- top / stat *)
+
+let admin_port_term =
+  Arg.(
+    value & opt int 7172
+    & info [ "admin-port" ]
+        ~doc:"Admin-plane port of the ppdm serve to scrape (on 127.0.0.1).")
+
+let fetch_metrics port =
+  match Ppdm_server.Admin.fetch ~port "/metrics" with
+  | Error msg -> Error msg
+  | Ok (200, body) -> (
+      match Ppdm_obs.Exposition.parse body with
+      | Ok samples -> Ok (body, samples)
+      | Error e -> Error ("malformed exposition: " ^ e))
+  | Ok (status, _) -> Error (Printf.sprintf "HTTP %d from /metrics" status)
+
+let sample_value samples ?(labels = []) name =
+  List.find_map
+    (fun (s : Ppdm_obs.Exposition.sample) ->
+      if
+        s.Ppdm_obs.Exposition.name = name
+        && List.for_all (fun kv -> List.mem kv s.Ppdm_obs.Exposition.labels) labels
+      then Some s.Ppdm_obs.Exposition.value
+      else None)
+    samples
+
+(* Every sample of family [name], keyed by its [key] label, sorted
+   numerically when the label values are numbers. *)
+let samples_by_label samples name key =
+  List.filter_map
+    (fun (s : Ppdm_obs.Exposition.sample) ->
+      if s.Ppdm_obs.Exposition.name = name then
+        Option.map
+          (fun v -> (v, s.Ppdm_obs.Exposition.value))
+          (List.assoc_opt key s.Ppdm_obs.Exposition.labels)
+      else None)
+    samples
+  |> List.sort (fun (a, _) (b, _) ->
+         match (int_of_string_opt a, int_of_string_opt b) with
+         | Some a, Some b -> compare a b
+         | _ -> compare a b)
+
+let dash_pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let render_dashboard ~port ~scrape samples =
+  let b = Buffer.create 1024 in
+  let v ?labels name = sample_value samples ?labels name in
+  let num ?labels name = Option.value (v ?labels name) ~default:0. in
+  Buffer.add_string b
+    (Printf.sprintf "ppdm top — 127.0.0.1:%d  (scrape #%d)\n\n" port scrape);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  ingest    %8.1f reports/s    reports %-10.0f sessions %-6.0f \
+        accepted %.0f\n"
+       (num "ppdm_server_ingest_rate")
+       (num "ppdm_server_reports_total")
+       (num "ppdm_server_sessions_total")
+       (num "ppdm_server_accepted_total"));
+  let lat suffix = num ("ppdm_server_fold_latency_ns" ^ suffix) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  fold lat  min %-9s p50 %-9s p90 %-9s p99 %-9s max %s  (last %.0fs \
+        window)\n"
+       (dash_pretty_ns (lat "_min"))
+       (dash_pretty_ns (lat "_p50"))
+       (dash_pretty_ns (lat "_p90"))
+       (dash_pretty_ns (lat "_p99"))
+       (dash_pretty_ns (lat "_max"))
+       60.);
+  let depths = samples_by_label samples "ppdm_server_queue_depth" "shard" in
+  if depths <> [] then begin
+    Buffer.add_string b "\n  shard      depth     folded\n";
+    List.iter
+      (fun (shard, depth) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %5s  %9.0f  %9.0f\n" shard depth
+             (num ~labels:[ ("shard", shard) ] "ppdm_server_folded")))
+      depths
+  end;
+  let busy = samples_by_label samples "ppdm_pool_busy_fraction" "worker" in
+  if busy <> [] then begin
+    Buffer.add_string b "\n  workers  ";
+    List.iter
+      (fun (w, frac) ->
+        Buffer.add_string b (Printf.sprintf "w%s %3.0f%%  " w (frac *. 100.)))
+      busy;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  gc        heap %.1f MiB   minor %.0f   major %.0f   sampler \
+        ticks %.0f\n"
+       (num "ppdm_gc_heap_words" *. 8. /. (1024. *. 1024.))
+       (num "ppdm_gc_minor_collections")
+       (num "ppdm_gc_major_collections")
+       (num "ppdm_server_sampler_ticks_total"));
+  Buffer.contents b
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~doc:"Refresh period in milliseconds (min 50).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (0: run until interrupted).")
+  in
+  let run port interval iterations =
+    let interval = float_of_int (max 50 interval) /. 1000. in
+    let rec go scrape =
+      match fetch_metrics port with
+      | Error msg ->
+          Printf.eprintf "ppdm top: %s\n" msg;
+          exit 1
+      | Ok (_, samples) ->
+          (* Clear screen + home, then one dashboard frame. *)
+          Printf.printf "\027[2J\027[H%s%!"
+            (render_dashboard ~port ~scrape samples);
+          if iterations = 0 || scrape < iterations then begin
+            Unix.sleepf interval;
+            go (scrape + 1)
+          end
+    in
+    go 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running ppdm serve admin plane: poll \
+          /metrics and redraw ingest rate, report->fold latency \
+          quantiles, per-shard queue depths, worker busy fractions, and \
+          GC health on a single refreshing screen.")
+    Term.(const run $ admin_port_term $ interval $ iterations)
+
+let stat_cmd =
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Print the raw OpenMetrics exposition instead of the summary.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Scrape exactly once and exit (the default; the flag exists so \
+             scripts can state it).")
+  in
+  let run port raw once =
+    ignore once;
+    match fetch_metrics port with
+    | Error msg ->
+        Printf.eprintf "ppdm stat: %s\n" msg;
+        exit 1
+    | Ok (body, samples) ->
+        if raw then print_string body
+        else print_string (render_dashboard ~port ~scrape:1 samples)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "One-shot scrape of a running ppdm serve admin plane: print the \
+          dashboard summary once (or the raw OpenMetrics text with \
+          --raw) and exit.  Exits non-zero if the admin plane is \
+          unreachable or the exposition does not parse.")
+    Term.(const run $ admin_port_term $ raw $ once)
+
 (* ------------------------------------------------------------ bench-diff *)
 
 let bench_diff_cmd =
@@ -894,7 +1095,7 @@ let main =
     (Cmd.info "ppdm" ~version:"1.0.0"
        ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
     [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd;
-      stats_cmd; experiment_cmd; serve_cmd; load_cmd; selftest_cmd;
-      bench_diff_cmd ]
+      stats_cmd; experiment_cmd; serve_cmd; load_cmd; top_cmd; stat_cmd;
+      selftest_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

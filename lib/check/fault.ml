@@ -353,6 +353,186 @@ let client_oversized_send_rejected () =
       (* nothing reached the wire, so the server is untouched *)
       match verdict with Error _ as e -> e | Ok () -> still_serving server)
 
+(* ------------------------------------------------- admin-plane scenarios *)
+
+module Admin = Ppdm_server.Admin
+
+(* Admin scenarios run with the admin plane on (ephemeral port) and a
+   deliberately fast sampler, inject the fault over the admin socket or
+   its timing, and then assert the one invariant that matters: the data
+   plane is {e bit-identical} to a sequential fold of the same reports —
+   the admin plane may degrade, the estimates may not move. *)
+let with_admin_server f =
+  let server =
+    Serve.start
+      {
+        (Serve.default_config ~scheme:server_scheme
+           ~itemsets:[ Itemset.of_list [ 0; 1 ]; Itemset.of_list [ 2 ] ])
+        with
+        jobs = 2;
+        shards = 2;
+        batch = 8;
+        admin_port = Some 0;
+        sampler_period_ns = 1_000_000;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.stop server))
+    (fun () ->
+      match Serve.admin_port server with
+      | None -> Error "admin plane configured but no admin port bound"
+      | Some admin_port -> f server admin_port)
+
+(* The deterministic report set every admin scenario replays. *)
+let admin_reports =
+  Array.init 40 (fun i ->
+      ((i mod 3) + 1, Itemset.of_list [ i mod 16; (i * 7) mod 16 ]))
+
+let send_reports server =
+  with_client server (fun c ->
+      ignore (Sclient.handshake c ~scheme:server_scheme ~sizes:[ 1; 2; 3 ] ());
+      Array.iter (fun (sz, y) -> Sclient.report c ~size:sz y) admin_reports;
+      ignore (Sclient.snapshot c ~flush:false))
+
+let data_plane_identical server =
+  let served = Serve.snapshot_estimates server ~flush:true in
+  let rec check = function
+    | [] -> Ok ()
+    | (itemset, est) :: rest -> (
+        let acc = Stream.create ~scheme:server_scheme ~itemset in
+        Array.iter (fun (sz, y) -> Stream.observe acc ~size:sz y) admin_reports;
+        match est with
+        | None -> Error (Itemset.to_string itemset ^ ": no estimate served")
+        | Some e ->
+            let e' = Stream.estimate acc in
+            if
+              e.Estimator.n_transactions = e'.Estimator.n_transactions
+              && e.Estimator.support = e'.Estimator.support
+              && e.Estimator.sigma = e'.Estimator.sigma
+            then check rest
+            else
+              Error
+                (Itemset.to_string itemset
+                ^ ": estimates differ from the sequential fold"))
+  in
+  check served
+
+(* Raw bytes to the admin port, response (or closed-connection) read
+   back — Admin.fetch only speaks well-formed GET. *)
+let admin_raw ~port bytes =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let b = Bytes.of_string bytes in
+      let rec write off =
+        if off < Bytes.length b then
+          write (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      write 0;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 512 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let admin_garbage_request_rejected () =
+  with_admin_server (fun server port ->
+      send_reports server;
+      let reply = admin_raw ~port "\x00\xffnot http at all\r\n\r\n" in
+      if not (starts_with ~prefix:"HTTP/1.0 400" reply) then
+        Error
+          (Printf.sprintf "garbage request got %S, expected a 400"
+             (String.sub reply 0 (min 32 (String.length reply))))
+      else
+        match Admin.fetch ~port "/metrics" with
+        | Ok (200, _) -> data_plane_identical server
+        | Ok (status, _) ->
+            Error
+              (Printf.sprintf "admin loop wedged after garbage: HTTP %d" status)
+        | Error e -> Error ("admin loop wedged after garbage: " ^ e))
+
+let admin_oversized_request_rejected () =
+  with_admin_server (fun server port ->
+      send_reports server;
+      (* headers that never terminate, well past the 8 KiB request cap *)
+      let reply =
+        admin_raw ~port
+          ("GET /metrics HTTP/1.0\r\n" ^ String.make 20_000 'x')
+      in
+      if not (starts_with ~prefix:"HTTP/1.0 413" reply) then
+        Error
+          (Printf.sprintf "oversized request got %S, expected a 413"
+             (String.sub reply 0 (min 32 (String.length reply))))
+      else
+        match Admin.fetch ~port "/healthz" with
+        | Ok (200, _) -> data_plane_identical server
+        | Ok (status, _) ->
+            Error
+              (Printf.sprintf "admin loop wedged after oversize: HTTP %d"
+                 status)
+        | Error e -> Error ("admin loop wedged after oversize: " ^ e))
+
+let admin_scrape_racing_shutdown () =
+  with_admin_server (fun server port ->
+      send_reports server;
+      (* Capture the flushed estimates before anything stops, then race
+         a scraping domain against the shutdown.  Every fetch must
+         return (success or a clean connection error), never hang or
+         corrupt anything. *)
+      let before = data_plane_identical server in
+      match before with
+      | Error _ as e -> e
+      | Ok () ->
+          let scrapes = Atomic.make 0 in
+          let scraper =
+            Domain.spawn (fun () ->
+                let rec go n =
+                  match Admin.fetch ~port "/metrics" with
+                  | Ok _ ->
+                      Atomic.incr scrapes;
+                      if n > 0 then go (n - 1)
+                  | Error _ -> () (* listener gone: the race resolved *)
+                in
+                go 500)
+          in
+          Unix.sleepf 0.005;
+          ignore (Serve.stop server);
+          Domain.join scraper;
+          if Atomic.get scrapes = 0 then
+            Error "no scrape ever succeeded before shutdown"
+          else Ok ())
+
+let admin_sampler_during_quiesce () =
+  with_admin_server (fun server _port ->
+      send_reports server;
+      (* The 1ms sampler is ticking throughout; repeated flushed
+         snapshots (quiesce barriers) must all equal the sequential
+         fold. *)
+      let rec go n =
+        if n = 0 then Ok ()
+        else
+          match data_plane_identical server with
+          | Ok () ->
+              Unix.sleepf 0.002;
+              go (n - 1)
+          | Error _ as e -> e
+      in
+      go 10)
+
 let io_fimi_truncation_is_silent () =
   let db =
     Db.create ~universe:6

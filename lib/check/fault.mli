@@ -81,3 +81,31 @@ val client_oversized_send_rejected : unit -> (unit, string) result
     message that encodes above it ([Invalid_argument], mirroring the
     read-side [Too_large]) — nothing reaches the wire, and the server
     keeps serving. *)
+
+(** {1 Admin-plane scenarios}
+
+    Each runs a server with the admin plane on (ephemeral port, 1ms
+    sampler), replays a fixed deterministic report set, injects the
+    fault over the admin socket or its timing, and asserts the one
+    invariant that matters: the flushed estimates are {e bit-identical}
+    to a sequential fold of the same reports.  The admin plane may
+    degrade under abuse; the data plane may not move. *)
+
+val admin_garbage_request_rejected : unit -> (unit, string) result
+(** Raw non-HTTP bytes at the admin port earn a 400; the admin loop
+    answers the next scrape and the estimates are unchanged. *)
+
+val admin_oversized_request_rejected : unit -> (unit, string) result
+(** A request whose headers never terminate within the size cap earns a
+    413; the admin loop and the data plane survive. *)
+
+val admin_scrape_racing_shutdown : unit -> (unit, string) result
+(** A domain hammering [/metrics] races a server shutdown: every fetch
+    returns (a response or a clean connection error, never a hang), at
+    least one scrape succeeded, and the pre-shutdown estimates equal the
+    sequential fold. *)
+
+val admin_sampler_during_quiesce : unit -> (unit, string) result
+(** With the sampler ticking every 1ms, repeated flushed snapshots
+    (quiesce barriers) all equal the sequential fold — sampling reads
+    never perturb the accumulators. *)

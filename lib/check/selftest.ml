@@ -608,6 +608,14 @@ let run ?count ?(seed = 42) ?(log = ignore) () =
             fun () -> Fault.server_invalid_reports_rejected ());
           ("fault: client refuses oversized send, server untouched",
             fun () -> Fault.client_oversized_send_rejected ());
+          ("fault: admin plane rejects garbage request, data plane identical",
+            fun () -> Fault.admin_garbage_request_rejected ());
+          ("fault: admin plane rejects oversized request, data plane identical",
+            fun () -> Fault.admin_oversized_request_rejected ());
+          ("fault: metrics scrape races shutdown cleanly", fun () ->
+              Fault.admin_scrape_racing_shutdown ());
+          ("fault: sampler ticks during quiesce, estimates bit-identical",
+            fun () -> Fault.admin_sampler_during_quiesce ());
         ]
         @ fuzz_roundtrip_checks ~seed ~count
       in

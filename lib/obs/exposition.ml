@@ -1,0 +1,478 @@
+(* OpenMetrics text exposition of the whole observability registry:
+   Metrics counters/gauges/histograms, Window meters and sliding-window
+   histograms, GC gauges from [Gc.quick_stat], and pool busy-fractions
+   derived from the [pool.busy_ns.w<i>] counters.
+
+   Internal metric names are dotted ([server.queue.depth.s0]); the
+   exposition sanitizes them to [ppdm_server_queue_depth] and turns a
+   trailing [.s<i>]/[.w<i>] component into a [shard="i"]/[worker="i"]
+   label, so per-shard families aggregate naturally in any OpenMetrics
+   consumer. *)
+
+(* ------------------------------------------------------------- names *)
+
+let sanitize_name name =
+  let buf = Buffer.create (String.length name + 5) in
+  Buffer.add_string buf "ppdm_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let all_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* [server.queue.depth.s3] -> family [server.queue.depth], shard label 3;
+   likewise [.w<i>] -> worker.  Anything else keeps its full name. *)
+let family_of name =
+  match String.rindex_opt name '.' with
+  | Some i when i > 0 && i < String.length name - 2 ->
+      let comp = String.sub name (i + 1) (String.length name - i - 1) in
+      let digits = String.sub comp 1 (String.length comp - 1) in
+      if all_digits digits then
+        match comp.[0] with
+        | 's' -> (String.sub name 0 i, [ ("shard", digits) ])
+        | 'w' -> (String.sub name 0 i, [ ("worker", digits) ])
+        | _ -> (name, [])
+      else (name, [])
+  | _ -> (name, [])
+
+(* ------------------------------------------------------------ render *)
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             labels)
+      ^ "}"
+
+(* Group a name-sorted [(name, v)] list into [(family, (labels, v) list)]
+   preserving first-appearance order (instances of one family are
+   adjacent after the sort, so this keeps the output sorted too). *)
+let group items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let fam, labels = family_of name in
+      match Hashtbl.find_opt tbl fam with
+      | Some l -> l := (labels, v) :: !l
+      | None ->
+          Hashtbl.replace tbl fam (ref [ (labels, v) ]);
+          order := fam :: !order)
+    items;
+  List.rev_map (fun fam -> (fam, List.rev !(Hashtbl.find tbl fam))) !order
+
+(* Pool workers call [timed_task] from process start; busy fraction needs
+   the observation interval's origin.  [note_start] pins it (serve does
+   at startup); 0 means "never noted" and suppresses the family. *)
+let start_ns = Atomic.make 0
+
+let note_start ?now () =
+  let now = match now with Some t -> t | None -> Metrics.now_ns () in
+  Atomic.set start_ns now
+
+let buf_family buf fname typ =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fname typ)
+
+let buf_sample buf fname labels value =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" fname (labels_string labels) value)
+
+let render_counters buf counters =
+  List.iter
+    (fun (fam, instances) ->
+      let fname = sanitize_name fam in
+      buf_family buf fname "counter";
+      List.iter
+        (fun (labels, v) ->
+          buf_sample buf (fname ^ "_total") labels (string_of_int v))
+        instances)
+    (group counters)
+
+let render_gauges buf gauges =
+  List.iter
+    (fun (fam, instances) ->
+      let fname = sanitize_name fam in
+      buf_family buf fname "gauge";
+      List.iter
+        (fun (labels, v) -> buf_sample buf fname labels (fnum v))
+        instances)
+    (group gauges)
+
+let render_histograms buf hists =
+  List.iter
+    (fun (fam, instances) ->
+      let fname = sanitize_name fam in
+      buf_family buf fname "histogram";
+      List.iter
+        (fun (labels, (h : Metrics.histogram)) ->
+          let cum = ref 0 in
+          List.iter
+            (fun (lo, c) ->
+              cum := !cum + c;
+              let le = Metrics.bucket_upper_edge (Metrics.bucket_of lo) in
+              buf_sample buf (fname ^ "_bucket")
+                (labels @ [ ("le", string_of_int le) ])
+                (string_of_int !cum))
+            h.Metrics.buckets;
+          buf_sample buf (fname ^ "_bucket")
+            (labels @ [ ("le", "+Inf") ])
+            (string_of_int h.Metrics.count);
+          buf_sample buf (fname ^ "_count") labels (string_of_int h.Metrics.count);
+          buf_sample buf (fname ^ "_sum") labels (string_of_int h.Metrics.sum))
+        instances;
+      (* Derived per-instance summaries as gauge families: OpenMetrics
+         histograms carry no quantiles, and operators want them without
+         running a bucket query. *)
+      List.iter
+        (fun (suffix, pick) ->
+          buf_family buf (fname ^ suffix) "gauge";
+          List.iter
+            (fun (labels, h) ->
+              buf_sample buf (fname ^ suffix) labels (string_of_int (pick h)))
+            instances)
+        [
+          ("_min", fun (h : Metrics.histogram) -> h.Metrics.min);
+          ("_max", fun h -> h.Metrics.max);
+          ("_p50", fun h -> Metrics.quantile h 0.5);
+          ("_p90", fun h -> Metrics.quantile h 0.9);
+          ("_p99", fun h -> Metrics.quantile h 0.99);
+        ])
+    (group hists)
+
+let render_meters buf (meters : (string * Window.meter_snapshot) list) =
+  List.iter
+    (fun (fam, instances) ->
+      let fname = sanitize_name fam in
+      buf_family buf fname "counter";
+      List.iter
+        (fun (labels, (m : Window.meter_snapshot)) ->
+          buf_sample buf (fname ^ "_total") labels (string_of_int m.Window.total))
+        instances;
+      buf_family buf (fname ^ "_rate") "gauge";
+      List.iter
+        (fun (labels, (m : Window.meter_snapshot)) ->
+          buf_sample buf (fname ^ "_rate") labels (fnum m.Window.rate))
+        instances)
+    (group meters)
+
+let render_gc buf =
+  let s = Gc.quick_stat () in
+  List.iter
+    (fun (name, v) ->
+      let fname = "ppdm_gc_" ^ name in
+      buf_family buf fname "gauge";
+      buf_sample buf fname [] (fnum v))
+    [
+      ("minor_words", s.Gc.minor_words);
+      ("promoted_words", s.Gc.promoted_words);
+      ("major_words", s.Gc.major_words);
+      ("minor_collections", float_of_int s.Gc.minor_collections);
+      ("major_collections", float_of_int s.Gc.major_collections);
+      ("compactions", float_of_int s.Gc.compactions);
+      ("heap_words", float_of_int s.Gc.heap_words);
+      ("top_heap_words", float_of_int s.Gc.top_heap_words);
+    ]
+
+let busy_prefix = "pool.busy_ns.w"
+
+let render_busy buf now counters =
+  let start = Atomic.get start_ns in
+  if start > 0 && now > start then begin
+    let elapsed = float_of_int (now - start) in
+    let workers =
+      List.filter_map
+        (fun (name, v) ->
+          if
+            String.length name > String.length busy_prefix
+            && String.sub name 0 (String.length busy_prefix) = busy_prefix
+          then
+            let w =
+              String.sub name
+                (String.length busy_prefix)
+                (String.length name - String.length busy_prefix)
+            in
+            if all_digits w then Some (w, float_of_int v /. elapsed) else None
+          else None)
+        counters
+    in
+    if workers <> [] then begin
+      buf_family buf "ppdm_pool_busy_fraction" "gauge";
+      List.iter
+        (fun (w, frac) ->
+          buf_sample buf "ppdm_pool_busy_fraction"
+            [ ("worker", w) ]
+            (fnum (Float.min 1. frac)))
+        workers
+    end
+  end
+
+(* A name recorded both as an all-time instrument and as a window
+   instrument would emit the same family twice (two TYPE lines — invalid
+   OpenMetrics).  The all-time registry wins and the window duplicate is
+   dropped; pick distinct names to expose both. *)
+let drop_colliding taken items =
+  List.filter (fun (name, _) -> not (List.mem (fst (family_of name)) taken)) items
+
+let render ?now () =
+  let now = match now with Some t -> t | None -> Metrics.now_ns () in
+  let snap = Metrics.snapshot () in
+  let wsnap = Window.snapshot ~now () in
+  let families items = List.map fst (group items) in
+  let buf = Buffer.create 4096 in
+  render_counters buf snap.Metrics.counters;
+  render_gauges buf snap.Metrics.gauges;
+  render_histograms buf snap.Metrics.histograms;
+  render_meters buf
+    (drop_colliding (families snap.Metrics.counters) wsnap.Window.meters);
+  render_histograms buf
+    (drop_colliding (families snap.Metrics.histograms) wsnap.Window.histograms);
+  render_busy buf now snap.Metrics.counters;
+  render_gc buf;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- parse *)
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+exception Bad of string
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_value s =
+  match s with
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "bad value %S" s)))
+
+(* name, optional {key=value,...} label set (values quoted, with
+   backslash/quote/newline escapes), a space, the value, and an optional
+   trailing timestamp (ignored). *)
+let parse_sample_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  if !i = 0 then raise (Bad (Printf.sprintf "bad sample line %S" line));
+  let name = String.sub line 0 !i in
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then raise (Bad "unterminated label set")
+      else if line.[!i] = '}' then begin
+        incr i;
+        fin := true
+      end
+      else begin
+        let k0 = !i in
+        while !i < n && is_name_char line.[!i] do
+          incr i
+        done;
+        if !i = k0 || !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"'
+        then raise (Bad (Printf.sprintf "bad label in %S" line));
+        let key = String.sub line k0 (!i - k0) in
+        i := !i + 2;
+        let vbuf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Bad "unterminated label value")
+          else if line.[!i] = '\\' then begin
+            if !i + 1 >= n then raise (Bad "dangling escape");
+            (match line.[!i + 1] with
+            | '\\' -> Buffer.add_char vbuf '\\'
+            | '"' -> Buffer.add_char vbuf '"'
+            | 'n' -> Buffer.add_char vbuf '\n'
+            | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+            i := !i + 2
+          end
+          else if line.[!i] = '"' then begin
+            incr i;
+            closed := true
+          end
+          else begin
+            Buffer.add_char vbuf line.[!i];
+            incr i
+          end
+        done;
+        labels := (key, Buffer.contents vbuf) :: !labels;
+        if !i < n && line.[!i] = ',' then incr i
+      end
+    done
+  end;
+  if !i >= n || line.[!i] <> ' ' then
+    raise (Bad (Printf.sprintf "missing value in %S" line));
+  while !i < n && line.[!i] = ' ' do
+    incr i
+  done;
+  let v0 = !i in
+  while !i < n && line.[!i] <> ' ' do
+    incr i
+  done;
+  let value = parse_value (String.sub line v0 (!i - v0)) in
+  { name; labels = List.rev !labels; value }
+
+let fold_lines text f =
+  List.iteri
+    (fun lineno line -> if line <> "" then f lineno line)
+    (String.split_on_char '\n' text)
+
+let parse text =
+  try
+    let samples = ref [] in
+    fold_lines text (fun _ line ->
+        if line.[0] <> '#' then samples := parse_sample_line line :: !samples);
+    Ok (List.rev !samples)
+  with Bad msg -> Error msg
+
+(* --------------------------------------------------------- validation *)
+
+let strip_suffix name suffix =
+  let ln = String.length name and ls = String.length suffix in
+  if ln > ls && String.sub name (ln - ls) ls = suffix then
+    Some (String.sub name 0 (ln - ls))
+  else None
+
+(* Structural OpenMetrics checks on top of [parse]: terminal [# EOF],
+   unique TYPE per family, every sample attributable to a declared
+   family with the sample-name shape its type requires, counters
+   non-negative, histogram buckets cumulative with a [+Inf] bucket
+   matching [_count]. *)
+let validate text =
+  try
+    let types : (string, string) Hashtbl.t = Hashtbl.create 32 in
+    let samples = ref [] in
+    let last = ref "" in
+    fold_lines text (fun _ line ->
+        last := line;
+        if line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: fname :: typ :: [] ->
+              if not (List.mem typ [ "counter"; "gauge"; "histogram" ]) then
+                raise (Bad (Printf.sprintf "unknown type %S" typ));
+              if Hashtbl.mem types fname then
+                raise (Bad (Printf.sprintf "duplicate TYPE for %s" fname));
+              Hashtbl.replace types fname typ
+          | "#" :: ("HELP" | "UNIT") :: _ -> ()
+          | "#" :: "EOF" :: [] -> ()
+          | _ -> raise (Bad (Printf.sprintf "bad comment line %S" line))
+        end
+        else samples := parse_sample_line line :: !samples);
+    if !last <> "# EOF" then raise (Bad "missing terminal # EOF");
+    let samples = List.rev !samples in
+    let family_of_sample s =
+      let try_shape suffix typ =
+        match strip_suffix s.name suffix with
+        | Some base when Hashtbl.find_opt types base = Some typ -> Some base
+        | _ -> None
+      in
+      match Hashtbl.find_opt types s.name with
+      | Some "gauge" -> Some s.name
+      | Some _ ->
+          None (* counter/histogram samples never use the bare name *)
+      | None -> (
+          match try_shape "_total" "counter" with
+          | Some b -> Some b
+          | None -> (
+              match try_shape "_bucket" "histogram" with
+              | Some b -> Some b
+              | None -> (
+                  match try_shape "_count" "histogram" with
+                  | Some b -> Some b
+                  | None -> try_shape "_sum" "histogram")))
+    in
+    List.iter
+      (fun s ->
+        match family_of_sample s with
+        | None ->
+            raise (Bad (Printf.sprintf "sample %s has no declared family" s.name))
+        | Some fam ->
+            if Hashtbl.find types fam = "counter" && s.value < 0. then
+              raise (Bad (Printf.sprintf "negative counter %s" s.name)))
+      samples;
+    (* Histogram structure: per (family, non-le labels) instance the
+       buckets must be cumulative, end at +Inf, and match _count. *)
+    let instances : (string * (string * string) list, sample list ref) Hashtbl.t
+        =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun s ->
+        match strip_suffix s.name "_bucket" with
+        | Some base when Hashtbl.find_opt types base = Some "histogram" ->
+            let key = (base, List.remove_assoc "le" s.labels) in
+            let l =
+              match Hashtbl.find_opt instances key with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.replace instances key l;
+                  l
+            in
+            l := s :: !l
+        | _ -> ())
+      samples;
+    Hashtbl.iter
+      (fun (base, labels) buckets ->
+        let buckets = List.rev !buckets in
+        (match List.rev buckets with
+        | last :: _ when List.assoc_opt "le" last.labels = Some "+Inf" -> ()
+        | _ -> raise (Bad (Printf.sprintf "%s missing +Inf bucket" base)));
+        ignore
+          (List.fold_left
+             (fun prev b ->
+               if b.value < prev then
+                 raise (Bad (Printf.sprintf "%s buckets not cumulative" base));
+               b.value)
+             0. buckets);
+        let total = (List.hd (List.rev buckets)).value in
+        List.iter
+          (fun s ->
+            if
+              strip_suffix s.name "_count" = Some base && s.labels = labels
+              && s.value <> total
+            then
+              raise
+                (Bad (Printf.sprintf "%s _count disagrees with +Inf" base)))
+          samples)
+      instances;
+    Ok samples
+  with Bad msg -> Error msg

@@ -6,6 +6,8 @@ let n_buckets = 63
 type hist = {
   mutable h_count : int;
   mutable h_sum : int;
+  mutable h_min : int; (* exact observed extrema (after the 0 clamp) *)
+  mutable h_max : int;
   h_buckets : int array; (* n_buckets log2 buckets *)
 }
 
@@ -59,18 +61,30 @@ module Sink_impl = struct
       match Hashtbl.find_opt t.hists name with
       | Some h -> h
       | None ->
-          let h = { h_count = 0; h_sum = 0; h_buckets = Array.make n_buckets 0 } in
+          let h =
+            {
+              h_count = 0;
+              h_sum = 0;
+              h_min = max_int;
+              h_max = 0;
+              h_buckets = Array.make n_buckets 0;
+            }
+          in
           Hashtbl.replace t.hists name h;
           h
     in
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
     let b = bucket_of v in
     h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
   type histogram_snapshot = {
     count : int;
     sum : int;
+    min : int;
+    max : int;
     buckets : (int * int) list;
   }
 
@@ -101,6 +115,8 @@ module Sink_impl = struct
             | Some acc ->
                 acc.h_count <- acc.h_count + h.h_count;
                 acc.h_sum <- acc.h_sum + h.h_sum;
+                if h.h_min < acc.h_min then acc.h_min <- h.h_min;
+                if h.h_max > acc.h_max then acc.h_max <- h.h_max;
                 Array.iteri
                   (fun i c -> acc.h_buckets.(i) <- acc.h_buckets.(i) + c)
                   h.h_buckets
@@ -109,6 +125,8 @@ module Sink_impl = struct
                   {
                     h_count = h.h_count;
                     h_sum = h.h_sum;
+                    h_min = h.h_min;
+                    h_max = h.h_max;
                     h_buckets = Array.copy h.h_buckets;
                   })
           s.hists)
@@ -124,15 +142,30 @@ module Sink_impl = struct
                if h.h_buckets.(i) > 0 then
                  buckets := (bucket_lower_bound i, h.h_buckets.(i)) :: !buckets
              done;
-             (n, { count = h.h_count; sum = h.h_sum; buckets = !buckets }) :: acc)
+             ( n,
+               {
+                 count = h.h_count;
+                 sum = h.h_sum;
+                 min = (if h.h_count = 0 then 0 else h.h_min);
+                 max = h.h_max;
+                 buckets = !buckets;
+               } )
+             :: acc)
            hists []) )
 end
 
 type histogram = Sink_impl.histogram_snapshot = {
   count : int;
   sum : int;
+  min : int;
+  max : int;
   buckets : (int * int) list;
 }
+
+let n_buckets = n_buckets
+let bucket_of = Sink_impl.bucket_of
+let bucket_lower_bound = Sink_impl.bucket_lower_bound
+let bucket_upper_edge = Sink_impl.bucket_upper_edge
 
 type snapshot = {
   counters : (string * int) list;

@@ -69,6 +69,8 @@ val time : string -> (unit -> 'a) -> 'a
 type histogram = {
   count : int;  (** number of observations *)
   sum : int;  (** sum of observed values *)
+  min : int;  (** exact smallest observation; 0 when empty *)
+  max : int;  (** exact largest observation; 0 when empty *)
   buckets : (int * int) list;
       (** [(lower_bound, count)] for each non-empty bucket, ascending *)
 }
@@ -77,6 +79,24 @@ val quantile : histogram -> float -> int
 (** [quantile h q] is an upper bound on the [q]-quantile ([0 <= q <= 1]):
     the (exclusive) upper edge of the bucket holding that rank.  0 for an
     empty histogram. *)
+
+(** {2 Bucket geometry}
+
+    Shared by the sliding-window histograms ([Window]) and the
+    OpenMetrics renderer ([Exposition]) so every histogram in the
+    process uses the same log2 buckets. *)
+
+val n_buckets : int
+
+val bucket_of : int -> int
+(** Bucket index of a value: 0 for 0, [i >= 1] for [2{^i-1} .. 2{^i}-1];
+    the last bucket absorbs everything larger. *)
+
+val bucket_lower_bound : int -> int
+(** Inclusive lower bound of bucket [i]. *)
+
+val bucket_upper_edge : int -> int
+(** Exclusive upper edge of bucket [i]. *)
 
 type snapshot = {
   counters : (string * int) list;

@@ -53,9 +53,11 @@ let human_of (snap : Metrics.snapshot) spans =
           else Printf.sprintf "%.1f" mean
         in
         Buffer.add_string buf
-          (Printf.sprintf "  %-44s count %-9d mean %-12s p50 %-12s p90 %-12s p99 %s\n"
-             name h.Metrics.count (show_mean ()) (show (q 0.5)) (show (q 0.9))
-             (show (q 0.99))))
+          (Printf.sprintf
+             "  %-44s count %-9d mean %-12s min %-12s p50 %-12s p90 %-12s p99 %-12s max %s\n"
+             name h.Metrics.count (show_mean ()) (show h.Metrics.min)
+             (show (q 0.5)) (show (q 0.9)) (show (q 0.99))
+             (show h.Metrics.max)))
       snap.Metrics.histograms
   end;
   if spans <> [] then begin
@@ -107,6 +109,8 @@ let json_lines_of (snap : Metrics.snapshot) spans =
            [ ("type", Json.String "histogram"); ("name", Json.String name);
              ("count", Json.Int h.Metrics.count);
              ("sum", Json.Int h.Metrics.sum); ("mean", Json.Float mean);
+             ("min", Json.Int h.Metrics.min);
+             ("max", Json.Int h.Metrics.max);
              ("p50", Json.Int (Metrics.quantile h 0.5));
              ("p90", Json.Int (Metrics.quantile h 0.9));
              ("p99", Json.Int (Metrics.quantile h 0.99));

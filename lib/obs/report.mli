@@ -5,7 +5,7 @@
     - [{"type":"counter","name":n,"value":v}]
     - [{"type":"gauge","name":n,"value":v}]
     - [{"type":"histogram","name":n,"count":c,"sum":s,"mean":m,
-        "p50":_,"p90":_,"p99":_,"buckets":[[lo,count],...]}]
+        "min":_,"max":_,"p50":_,"p90":_,"p99":_,"buckets":[[lo,count],...]}]
     - [{"type":"span","path":"a/b/c","calls":c,"total_ns":t,"mean_ns":m}]
 
     Every line parses with {!Json.parse} (the CI smoke test relies on

@@ -1,0 +1,315 @@
+(* Rolling-window instruments: EWMA rate meters and ring-of-epochs
+   sliding-window histograms.  Same sharding discipline as [Metrics]:
+   each domain records into its own sink, snapshots merge commutatively,
+   and recording is gated on [Metrics.enabled].
+
+   Determinism contract: every recording call takes the observation time
+   as an argument (defaulted to the wall clock), and both instruments are
+   linear in their observations at a fixed clock — an EWMA seeded at 0
+   distributes over any partition of the observation stream across
+   domains, and epoch slots merge by summation.  Tests drive an injected
+   clock and get bit-identical snapshots at jobs 1/2/4. *)
+
+type meter_config = { tick_ns : int; tau_ns : int }
+type hist_config = { epochs : int; epoch_ns : int }
+
+let default_meter = { tick_ns = 1_000_000_000; tau_ns = 10_000_000_000 }
+let default_hist = { epochs = 6; epoch_ns = 10_000_000_000 }
+
+(* Per-name configuration, set once at startup (before recording) and
+   read under the lock on the first use of a name in each sink.  All
+   sinks must agree on a name's parameters for the merge to be
+   meaningful, which the single table guarantees. *)
+let config_lock = Mutex.create ()
+let meter_configs : (string, meter_config) Hashtbl.t = Hashtbl.create 8
+let hist_configs : (string, hist_config) Hashtbl.t = Hashtbl.create 8
+
+let define_meter ?(tick_ns = default_meter.tick_ns)
+    ?(tau_ns = default_meter.tau_ns) name =
+  let tick_ns = max 1 tick_ns and tau_ns = max 1 tau_ns in
+  Mutex.lock config_lock;
+  Hashtbl.replace meter_configs name { tick_ns; tau_ns };
+  Mutex.unlock config_lock
+
+let define_histogram ?(epochs = default_hist.epochs)
+    ?(epoch_ns = default_hist.epoch_ns) name =
+  let epochs = max 1 epochs and epoch_ns = max 1 epoch_ns in
+  Mutex.lock config_lock;
+  Hashtbl.replace hist_configs name { epochs; epoch_ns };
+  Mutex.unlock config_lock
+
+let meter_config_of name =
+  Mutex.lock config_lock;
+  let c =
+    match Hashtbl.find_opt meter_configs name with
+    | Some c -> c
+    | None -> default_meter
+  in
+  Mutex.unlock config_lock;
+  c
+
+let hist_config_of name =
+  Mutex.lock config_lock;
+  let c =
+    match Hashtbl.find_opt hist_configs name with
+    | Some c -> c
+    | None -> default_hist
+  in
+  Mutex.unlock config_lock;
+  c
+
+(* ----------------------------------------------------------- EWMA meter *)
+
+(* One-sided exponentially weighted moving average over fixed ticks
+   (Coda-Hale style, minus the first-tick seeding): the rate starts at 0
+   and each completed tick folds its arrival rate in with weight
+   [alpha = 1 - exp (-tick / tau)].  Ticks are aligned to absolute time
+   ([tick i] covers [i*tick_ns .. (i+1)*tick_ns)), so independently
+   advancing meters agree on tick boundaries and their rates sum. *)
+type meter = {
+  mc : meter_config;
+  alpha : float;
+  mutable m_total : int;
+  mutable m_pending : int; (* arrivals in the tick being accumulated *)
+  mutable m_tick : int; (* index of the tick being accumulated *)
+  mutable m_rate : float; (* events/sec as of the end of tick m_tick-1 *)
+}
+
+let tick_of (mc : meter_config) now = now / mc.tick_ns
+
+(* Rate and pending as they would stand after advancing to [now],
+   without mutating: one weighted update for the pending tick (empty or
+   not), then closed-form decay for the remaining empty ticks. *)
+let meter_advanced m now =
+  let t = tick_of m.mc now in
+  if t <= m.m_tick then (m.m_rate, m.m_pending, m.m_tick)
+  else begin
+    let per_sec =
+      float_of_int m.m_pending *. 1e9 /. float_of_int m.mc.tick_ns
+    in
+    let rate = m.m_rate +. (m.alpha *. (per_sec -. m.m_rate)) in
+    let rate =
+      if t - m.m_tick = 1 then rate
+      else rate *. ((1. -. m.alpha) ** float_of_int (t - m.m_tick - 1))
+    in
+    (rate, 0, t)
+  end
+
+let meter_mark m now n =
+  let rate, pending, tick = meter_advanced m now in
+  m.m_rate <- rate;
+  m.m_pending <- pending + n;
+  m.m_tick <- tick;
+  m.m_total <- m.m_total + n
+
+(* ------------------------------------------------- ring-of-epochs hist *)
+
+type slot = {
+  mutable s_epoch : int; (* -1 = never used *)
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_min : int;
+  mutable s_max : int;
+  s_buckets : int array;
+}
+
+type whist = { hc : hist_config; slots : slot array }
+
+let slot_reset s epoch =
+  s.s_epoch <- epoch;
+  s.s_count <- 0;
+  s.s_sum <- 0;
+  s.s_min <- max_int;
+  s.s_max <- 0;
+  Array.fill s.s_buckets 0 (Array.length s.s_buckets) 0
+
+let whist_observe w now v =
+  let v = max 0 v in
+  let e = now / w.hc.epoch_ns in
+  let s = w.slots.(e mod w.hc.epochs) in
+  if s.s_epoch <> e then slot_reset s e;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum + v;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v;
+  let b = Metrics.bucket_of v in
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1
+
+(* ------------------------------------------------------- sharded sinks *)
+
+type sink = {
+  meters : (string, meter) Hashtbl.t;
+  whists : (string, whist) Hashtbl.t;
+}
+
+let registry_lock = Mutex.create ()
+let registry : sink list ref = ref []
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { meters = Hashtbl.create 8; whists = Hashtbl.create 8 } in
+      Mutex.lock registry_lock;
+      registry := s :: !registry;
+      Mutex.unlock registry_lock;
+      s)
+
+let shard () = Domain.DLS.get shard_key
+
+let meter_of sink name =
+  match Hashtbl.find_opt sink.meters name with
+  | Some m -> m
+  | None ->
+      let mc = meter_config_of name in
+      let alpha =
+        1. -. exp (-.float_of_int mc.tick_ns /. float_of_int mc.tau_ns)
+      in
+      let m =
+        { mc; alpha; m_total = 0; m_pending = 0; m_tick = -1; m_rate = 0. }
+      in
+      Hashtbl.replace sink.meters name m;
+      m
+
+let whist_of sink name =
+  match Hashtbl.find_opt sink.whists name with
+  | Some w -> w
+  | None ->
+      let hc = hist_config_of name in
+      let w =
+        {
+          hc;
+          slots =
+            Array.init hc.epochs (fun _ ->
+                {
+                  s_epoch = -1;
+                  s_count = 0;
+                  s_sum = 0;
+                  s_min = max_int;
+                  s_max = 0;
+                  s_buckets = Array.make Metrics.n_buckets 0;
+                });
+        }
+      in
+      Hashtbl.replace sink.whists name w;
+      w
+
+let mark ?now name n =
+  if Metrics.enabled () then begin
+    let now = match now with Some t -> t | None -> Metrics.now_ns () in
+    meter_mark (meter_of (shard ()) name) now n
+  end
+
+let observe ?now name v =
+  if Metrics.enabled () then begin
+    let now = match now with Some t -> t | None -> Metrics.now_ns () in
+    whist_observe (whist_of (shard ()) name) now v
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  let sinks = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun s ->
+      Hashtbl.reset s.meters;
+      Hashtbl.reset s.whists)
+    sinks
+
+(* ------------------------------------------------------------ snapshot *)
+
+type meter_snapshot = { total : int; rate : float }
+
+type snapshot = {
+  meters : (string * meter_snapshot) list;
+  histograms : (string * Metrics.histogram) list;
+}
+
+(* Read-only merge: meters are advanced to [now] functionally (rates of
+   aligned meters sum; see the preamble), window slots are summed per
+   epoch over the live range (e_now - epochs, e_now].  Like
+   [Metrics.snapshot], call at a quiescent point for exact numbers;
+   concurrent calls are memory-safe but approximate. *)
+let snapshot ?now () =
+  let now = match now with Some t -> t | None -> Metrics.now_ns () in
+  Mutex.lock registry_lock;
+  let sinks = !registry in
+  Mutex.unlock registry_lock;
+  let meters : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let hists : (string, hist_config * slot) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (sink : sink) ->
+      Hashtbl.iter
+        (fun name m ->
+          let rate, _, _ = meter_advanced m now in
+          match Hashtbl.find_opt meters name with
+          | Some (total, r) ->
+              total := !total + m.m_total;
+              r := !r +. rate
+          | None -> Hashtbl.replace meters name (ref m.m_total, ref rate))
+        sink.meters;
+      Hashtbl.iter
+        (fun name w ->
+          let e_now = now / w.hc.epoch_ns in
+          let acc =
+            match Hashtbl.find_opt hists name with
+            | Some (_, acc) -> acc
+            | None ->
+                let acc =
+                  {
+                    s_epoch = 0;
+                    s_count = 0;
+                    s_sum = 0;
+                    s_min = max_int;
+                    s_max = 0;
+                    s_buckets = Array.make Metrics.n_buckets 0;
+                  }
+                in
+                Hashtbl.replace hists name (w.hc, acc);
+                acc
+          in
+          Array.iter
+            (fun s ->
+              if
+                s.s_count > 0 && s.s_epoch <= e_now
+                && s.s_epoch > e_now - w.hc.epochs
+              then begin
+                acc.s_count <- acc.s_count + s.s_count;
+                acc.s_sum <- acc.s_sum + s.s_sum;
+                if s.s_min < acc.s_min then acc.s_min <- s.s_min;
+                if s.s_max > acc.s_max then acc.s_max <- s.s_max;
+                Array.iteri
+                  (fun i c -> acc.s_buckets.(i) <- acc.s_buckets.(i) + c)
+                  s.s_buckets
+              end)
+            w.slots)
+        sink.whists)
+    sinks;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let meters =
+    sorted
+      (Hashtbl.fold
+         (fun name (total, rate) acc ->
+           (name, { total = !total; rate = !rate }) :: acc)
+         meters [])
+  in
+  let histograms =
+    sorted
+      (Hashtbl.fold
+         (fun name (_, s) acc ->
+           let buckets = ref [] in
+           for i = Metrics.n_buckets - 1 downto 0 do
+             if s.s_buckets.(i) > 0 then
+               buckets :=
+                 (Metrics.bucket_lower_bound i, s.s_buckets.(i)) :: !buckets
+           done;
+           ( name,
+             {
+               Metrics.count = s.s_count;
+               sum = s.s_sum;
+               min = (if s.s_count = 0 then 0 else s.s_min);
+               max = s.s_max;
+               buckets = !buckets;
+             } )
+           :: acc)
+         hists [])
+  in
+  { meters; histograms }

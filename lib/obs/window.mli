@@ -1,0 +1,71 @@
+(** Rolling-window instruments on top of the [Metrics] sharding
+    discipline: EWMA rate meters ("how fast right now?") and
+    ring-of-epochs sliding-window histograms ("latency over the last
+    minute"), for long-lived processes whose all-time counters cannot
+    answer operational questions.
+
+    Both instruments take the observation time explicitly ([?now],
+    defaulting to {!Metrics.now_ns}) and are {e linear} in their
+    observations at a fixed clock:
+
+    + a meter is an EWMA over absolute, globally-aligned ticks, seeded
+      at 0, so the sum of per-domain meters equals the meter of the
+      combined stream no matter how the observations were partitioned
+      across domains — totals exactly, rates up to floating-point
+      summation order (the per-tick weights are floats);
+    + a window histogram sums {e integer} per-epoch slots, and epochs
+      are derived from the observation time alone, so its snapshots
+      under an injected clock are bit-identical at any job count — the
+      same determinism contract as the rest of the repo.
+    Recording is gated on [Metrics.enabled] (one flag check when off)
+    and writes only domain-local state.
+
+    The instruments assume a (mostly) monotonic clock: an observation
+    older than the current window simply lands in (or resets) a stale
+    slot, skewing values but never breaking memory safety. *)
+
+val define_meter : ?tick_ns:int -> ?tau_ns:int -> string -> unit
+(** Configure meter [name]: [tick_ns] is the accumulation interval
+    (default 1s), [tau_ns] the decay time constant (default 10s; the
+    smoothing factor is [alpha = 1 - exp (-tick/tau)]).  Call before the
+    first recording of [name]; later calls only affect sinks that have
+    not yet used the name. *)
+
+val define_histogram : ?epochs:int -> ?epoch_ns:int -> string -> unit
+(** Configure window histogram [name]: a ring of [epochs] slots (default
+    6) each covering [epoch_ns] (default 10s), i.e. a 60s window by
+    default.  Same timing caveat as {!define_meter}. *)
+
+val mark : ?now:int -> string -> int -> unit
+(** [mark name n] records [n] events on meter [name] at time [now].
+    No-op when metrics are disabled. *)
+
+val observe : ?now:int -> string -> int -> unit
+(** [observe name v] records the non-negative value [v] (negatives clamp
+    to 0) into window histogram [name] at time [now].  No-op when
+    metrics are disabled. *)
+
+val reset : unit -> unit
+(** Clear every sink in the registry (configurations are kept). *)
+
+(** {2 Snapshots} *)
+
+type meter_snapshot = {
+  total : int;  (** all-time event count *)
+  rate : float;
+      (** EWMA events/sec as of the last completed tick before [now];
+          0 until the first tick completes *)
+}
+
+type snapshot = {
+  meters : (string * meter_snapshot) list;
+  histograms : (string * Metrics.histogram) list;
+      (** each histogram merged over the epochs still inside the window
+          at [now] *)
+}
+(** Both lists sorted by name. *)
+
+val snapshot : ?now:int -> unit -> snapshot
+(** Read-only commutative merge of every sink, advanced to [now].  Exact
+    at a quiescent point; memory-safe but approximate when other domains
+    are recording concurrently. *)

@@ -13,6 +13,8 @@ type config = {
   sched : Pool.sched;
   scheme : Randomizer.t;
   itemsets : Itemset.t list;
+  admin_port : int option;
+  sampler_period_ns : int;
 }
 
 let default_config ~scheme ~itemsets =
@@ -27,6 +29,8 @@ let default_config ~scheme ~itemsets =
     sched = Pool.Chunked;
     scheme;
     itemsets;
+    admin_port = None;
+    sampler_period_ns = 1_000_000_000;
   }
 
 type stats = { reports : int; sessions : int }
@@ -41,7 +45,8 @@ type shared = {
      ([Stream.observe]) never resolves and runs lock-free. *)
   scheme_lock : Mutex.t;
   stop : bool Atomic.t;
-  sessions : int Atomic.t;
+  sessions : int Atomic.t; (* sessions started (counted at handshake accept) *)
+  accepting : bool Atomic.t; (* acceptor loop is live (feeds /readyz) *)
 }
 
 let validate config =
@@ -51,6 +56,8 @@ let validate config =
   if config.linger_ns < 0 then invalid_arg "Serve: negative linger";
   if config.queue_capacity < 1 then invalid_arg "Serve: queue capacity < 1";
   if config.max_frame < 16 then invalid_arg "Serve: max_frame < 16";
+  if config.sampler_period_ns < 1_000_000 then
+    invalid_arg "Serve: sampler period < 1ms";
   if config.itemsets = [] then invalid_arg "Serve: no tracked itemsets"
 
 let make_shared config =
@@ -63,6 +70,7 @@ let make_shared config =
     scheme_lock = Mutex.create ();
     stop = Atomic.make false;
     sessions = Atomic.make 0;
+    accepting = Atomic.make false;
   }
 
 (* ------------------------------------------------------------ snapshots *)
@@ -94,6 +102,25 @@ let shared_folded sh =
 let float_or_null f =
   if Float.is_finite f then Ppdm_obs.Json.Float f else Ppdm_obs.Json.Null
 
+let shared_queued sh =
+  Array.fold_left (fun acc shard -> acc + Shard.depth shard) 0 sh.shards
+
+(* Server-side operational counters, computed from the deterministic
+   shared state (never from the Metrics registry) and always present, so
+   [ppdm load] stdout is byte-identical whether or not the admin plane
+   or --stats is on.  With [flush], sessions/folded/queued are exact:
+   sessions are counted at handshake time (before the Welcome that the
+   client's connect waits on), and the flush barrier empties the
+   queues. *)
+let shared_metrics_json sh =
+  Ppdm_obs.Json.Obj
+    [
+      ("sessions", Ppdm_obs.Json.Int (Atomic.get sh.sessions));
+      ("folded", Ppdm_obs.Json.Int (shared_folded sh));
+      ("queued", Ppdm_obs.Json.Int (shared_queued sh));
+      ("shards", Ppdm_obs.Json.Int (Array.length sh.shards));
+    ]
+
 let shared_snapshot_json sh ~flush =
   let estimates = shared_estimates sh ~flush in
   let itemset_json (itemset, est) =
@@ -120,15 +147,16 @@ let shared_snapshot_json sh ~flush =
          ("universe", Ppdm_obs.Json.Int (Randomizer.universe sh.config.scheme));
          ("reports", Ppdm_obs.Json.Int (shared_folded sh));
          ("itemsets", Ppdm_obs.Json.List (List.map itemset_json estimates));
+         ("metrics", shared_metrics_json sh);
        ])
 
 (* ------------------------------------------------------------- sockets *)
 
-let bind_listener config =
+let bind_listener port =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
     Unix.setsockopt listener Unix.SO_REUSEADDR true;
-    Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+    Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
     Unix.listen listener 64;
     Unix.getsockname listener
   with
@@ -144,7 +172,61 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------ the server *)
 
-let serve_on listener sh =
+(* ---------------------------------------------------------- admin plane *)
+
+let admin_handlers sh =
+  {
+    Admin.metrics = (fun () -> Ppdm_obs.Exposition.render ());
+    healthy = (fun () -> true);
+    ready =
+      (fun () ->
+        if Atomic.get sh.stop then (false, "stopping")
+        else if not (Atomic.get sh.accepting) then (false, "not accepting")
+        else begin
+          (* High-water: any shard queue at >= 90% of capacity means a
+             new client would mostly block on backpressure. *)
+          let cap = sh.config.queue_capacity in
+          if Array.exists (fun s -> Shard.depth s * 10 >= cap * 9) sh.shards
+          then (false, "queues above high-water")
+          else (true, "ok")
+        end);
+  }
+
+(* The periodic sampler: every [sampler_period_ns] it gauges per-shard
+   queue depth and backlog and the session count.  It reads the same
+   shared state the snapshot does — depth is one atomic-ish queue
+   counter, folded takes the shard lock a folder holds only per batch —
+   so its cost is a few loads per period, far below the <1% ingest
+   budget (see bench B11). *)
+let sampler sh () =
+  let period = float_of_int sh.config.sampler_period_ns /. 1e9 in
+  let rec go last =
+    if Atomic.get sh.stop then ()
+    else begin
+      Unix.sleepf (Float.min 0.05 period);
+      let now = Ppdm_obs.Metrics.now_ns () in
+      if float_of_int (now - last) /. 1e9 >= period then begin
+        Ppdm_obs.Metrics.incr "server.sampler.ticks";
+        Ppdm_obs.Metrics.gauge "server.sessions.started"
+          (float_of_int (Atomic.get sh.sessions));
+        Array.iteri
+          (fun i shard ->
+            let s = string_of_int i in
+            Ppdm_obs.Metrics.gauge
+              ("server.queue.depth.s" ^ s)
+              (float_of_int (Shard.depth shard));
+            Ppdm_obs.Metrics.gauge
+              ("server.folded.s" ^ s)
+              (float_of_int (Shard.folded shard)))
+          sh.shards;
+        go now
+      end
+      else go last
+    end
+  in
+  go (Ppdm_obs.Metrics.now_ns ())
+
+let serve_on listener ?admin sh =
   let config = sh.config in
   let pending = Ingest.create ~capacity:64 in
   let verify_scheme client ~sizes =
@@ -180,7 +262,9 @@ let serve_on listener sh =
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     in
+    Atomic.set sh.accepting true;
     go ();
+    Atomic.set sh.accepting false;
     close_quietly listener;
     Ingest.close pending
   in
@@ -190,10 +274,15 @@ let serve_on listener sh =
       match Ingest.pop pending with
       | None -> ()
       | Some fd ->
+          (* Counted when the session {e starts}: the increment then
+             happens-before the Welcome reply, so any client that has
+             completed its handshake is already in the count read by a
+             later snapshot — making the session count in a flushed
+             control snapshot deterministic. *)
+          ignore (Atomic.fetch_and_add sh.sessions 1);
           Fun.protect
             ~finally:(fun () -> close_quietly fd)
             (fun () -> Session.run session_config ~shards:sh.shards fd);
-          ignore (Atomic.fetch_and_add sh.sessions 1);
           Ingest.done_with pending;
           go ()
     in
@@ -206,37 +295,83 @@ let serve_on listener sh =
   let folder shard () =
     Shard.fold_loop shard ~batch:config.batch ~linger_ns:config.linger_ns
   in
+  (* The admin plane rides on metrics; turn them on for its lifetime
+     (restored at exit) so the registry has content to expose.  This
+     cannot change data-plane results or stdout — the determinism
+     contract instrumentation has obeyed since PR 2. *)
+  let restore_metrics =
+    match admin with
+    | None -> fun () -> ()
+    | Some _ ->
+        let was = Ppdm_obs.Metrics.enabled () in
+        Ppdm_obs.Metrics.set_enabled true;
+        Ppdm_obs.Window.define_meter "server.ingest";
+        Ppdm_obs.Window.define_histogram "server.fold.latency_ns";
+        Ppdm_obs.Exposition.note_start ();
+        fun () -> Ppdm_obs.Metrics.set_enabled was
+  in
+  let admin_tasks =
+    match admin with
+    | None -> [||]
+    | Some admin_listener ->
+        [|
+          (fun () ->
+            Admin.serve_loop admin_listener ~stop:sh.stop (admin_handlers sh));
+          sampler sh;
+        |]
+  in
   let tasks =
     Array.concat
       [
         [| acceptor |];
         Array.init config.jobs (fun _ -> worker);
         Array.map folder sh.shards;
+        admin_tasks;
       ]
   in
   (* Every stage is a long-lived task, so the pool is sized to run them
-     all at once: 1 acceptor + jobs workers + shards folders. *)
-  Pool.with_pool ~jobs:(Array.length tasks) (fun pool ->
-      ignore (Pool.run ~sched:config.sched pool tasks));
+     all at once: 1 acceptor + jobs workers + shards folders (+ admin
+     loop and sampler when the admin plane is on). *)
+  Fun.protect ~finally:restore_metrics (fun () ->
+      Pool.with_pool ~jobs:(Array.length tasks) (fun pool ->
+          ignore (Pool.run ~sched:config.sched pool tasks)));
   { reports = shared_folded sh; sessions = Atomic.get sh.sessions }
 
 (* ------------------------------------------------------------- handles *)
 
 type t = {
   bound_port : int;
+  admin_bound_port : int option;
   sh : shared;
   domain : stats Domain.t;
   mutable final : stats option;
 }
 
+(* Bind the admin listener (when configured) after the data listener;
+   on failure close the data listener so neither leaks. *)
+let bind_admin config listener =
+  match config.admin_port with
+  | None -> None
+  | Some p -> (
+      match bind_listener p with
+      | admin -> Some admin
+      | exception e ->
+          close_quietly listener;
+          raise e)
+
 let start config =
   validate config;
-  let listener, bound_port = bind_listener config in
+  let listener, bound_port = bind_listener config.port in
+  let admin = bind_admin config listener in
   let sh = make_shared config in
-  let domain = Domain.spawn (fun () -> serve_on listener sh) in
-  { bound_port; sh; domain; final = None }
+  let domain =
+    Domain.spawn (fun () -> serve_on listener ?admin:(Option.map fst admin) sh)
+  in
+  { bound_port; admin_bound_port = Option.map snd admin; sh; domain;
+    final = None }
 
 let port t = t.bound_port
+let admin_port t = t.admin_bound_port
 
 let wait t =
   match t.final with
@@ -253,9 +388,11 @@ let stop t =
 let snapshot_estimates t ~flush = shared_estimates t.sh ~flush
 let snapshot_json t ~flush = shared_snapshot_json t.sh ~flush
 
-let run ?(ready = ignore) config =
+let run ?(ready = ignore) ?(admin_ready = ignore) config =
   validate config;
-  let listener, bound_port = bind_listener config in
+  let listener, bound_port = bind_listener config.port in
+  let admin = bind_admin config listener in
   let sh = make_shared config in
   ready bound_port;
-  serve_on listener sh
+  Option.iter (fun (_, p) -> admin_ready p) admin;
+  serve_on listener ?admin:(Option.map fst admin) sh

@@ -37,11 +37,19 @@ type config = {
           stealing scheduler's dispatch path gets exercised end to end. *)
   scheme : Randomizer.t;  (** the operator clients must match *)
   itemsets : Itemset.t list;  (** tracked itemsets (estimates served) *)
+  admin_port : int option;
+      (** when set, a second loopback listener serves the {!Admin} plane
+          ([/metrics], [/healthz], [/readyz]) on this port (0: ephemeral)
+          and the periodic sampler runs; metrics recording is enabled for
+          the server's lifetime (restored at exit).  The data plane's
+          wire protocol and every snapshot byte are unaffected. *)
+  sampler_period_ns : int;  (** admin sampler period (min 1ms) *)
 }
 
 val default_config : scheme:Randomizer.t -> itemsets:Itemset.t list -> config
 (** port 0, jobs 2, shards 2, batch 256, no linger, queue capacity 4096,
-    {!Framing.default_max_frame}, chunked scheduling. *)
+    {!Framing.default_max_frame}, chunked scheduling, no admin plane,
+    1s sampler period. *)
 
 type stats = { reports : int; sessions : int }
 (** Totals over the server's lifetime (reports = folded into shards). *)
@@ -56,6 +64,9 @@ val start : config -> t
 
 val port : t -> int
 (** The actual listening port (useful with [port = 0]). *)
+
+val admin_port : t -> int option
+(** The admin plane's listening port, when configured. *)
 
 val stop : t -> stats
 (** Ask the server to stop (as a client [Shutdown] frame would), wait for
@@ -73,6 +84,8 @@ val snapshot_estimates : t -> flush:bool -> (Itemset.t * Estimator.t option) lis
 val snapshot_json : t -> flush:bool -> string
 (** The wire snapshot: what a [Snapshot_request] returns. *)
 
-val run : ?ready:(int -> unit) -> config -> stats
+val run : ?ready:(int -> unit) -> ?admin_ready:(int -> unit) -> config -> stats
 (** Blocking variant for the CLI: serve until a client sends [Shutdown].
-    [ready] is called with the bound port once listening. *)
+    [ready] is called with the bound data port once listening;
+    [admin_ready] with the bound admin port when the admin plane is
+    configured. *)

@@ -105,7 +105,10 @@ let run config ~shards fd =
     else begin
       let shard = shards.(!next_shard) in
       next_shard := (!next_shard + 1) mod n_shards;
-      ignore (Shard.submit shard (size, items));
+      let ts =
+        if Ppdm_obs.Metrics.enabled () then Ppdm_obs.Metrics.now_ns () else 0
+      in
+      ignore (Shard.submit shard (size, items, ts));
       Ppdm_obs.Metrics.incr "server.reports";
       `Continue
     end

@@ -2,7 +2,9 @@ open Ppdm_data
 open Ppdm
 
 type t = {
-  queue : (int * Itemset.t) Ingest.t;
+  (* (original_size, randomized_itemset, submitted_ns); the timestamp is
+     0 when metrics are off, so the disabled path never reads a clock. *)
+  queue : (int * Itemset.t * int) Ingest.t;
   accs : Stream.t list;
   acc_lock : Mutex.t;
   mutable folded : int; (* under acc_lock *)
@@ -25,7 +27,7 @@ let fold_batch t batch =
     ~finally:(fun () -> Mutex.unlock t.acc_lock)
     (fun () ->
       Array.iter
-        (fun (size, y) ->
+        (fun (size, y, _) ->
           List.iter (fun acc -> Stream.observe acc ~size y) t.accs)
         batch;
       t.folded <- t.folded + Array.length batch)
@@ -40,6 +42,14 @@ let fold_loop t ~batch ~linger_ns =
           Ppdm_obs.Metrics.observe "server.batch.size" (Array.length b);
           Ppdm_obs.Metrics.gauge "server.queue.depth"
             (float_of_int (Ingest.depth t.queue));
+          let now = Ppdm_obs.Metrics.now_ns () in
+          Ppdm_obs.Window.mark ~now "server.ingest" (Array.length b);
+          Array.iter
+            (fun (_, _, ts) ->
+              if ts > 0 then
+                Ppdm_obs.Window.observe ~now "server.fold.latency_ns"
+                  (now - ts))
+            b;
           Ppdm_obs.Trace.with_ ~name:"server.fold" ~cat:"server" (fun () ->
               fold_batch t b)
         end

@@ -18,10 +18,13 @@ val create :
   scheme:Randomizer.t -> itemsets:Itemset.t list -> capacity:int -> t
 (** @raise Invalid_argument if [itemsets] is empty or [capacity < 1]. *)
 
-val submit : t -> int * Itemset.t -> bool
-(** Queue one [(original_size, randomized_itemset)] report, blocking when
-    the shard is [capacity] reports behind (backpressure on the pushing
-    session).  [false] iff the shard is closed. *)
+val submit : t -> int * Itemset.t * int -> bool
+(** Queue one [(original_size, randomized_itemset, submitted_ns)]
+    report, blocking when the shard is [capacity] reports behind
+    (backpressure on the pushing session).  [submitted_ns] feeds the
+    report→fold latency window histogram; pass 0 when metrics are off
+    (the folder then skips the latency observation).  [false] iff the
+    shard is closed. *)
 
 val fold_loop : t -> batch:int -> linger_ns:int -> unit
 (** Drain batches (at most [batch] reports each, lingering up to

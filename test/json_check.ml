@@ -2,12 +2,15 @@
    opam JSON package.  Exit 0 on success, 1 otherwise.
 
    Modes:
-     (default)  JSON-lines, e.g. `ppdm mine --stats json`: every
-                non-empty line must parse and carry a "type" field.
-     --trace    one Chrome trace-event document, e.g. `ppdm private
-                --trace out.json`: a JSON array whose every element has
-                the ph/ts/pid/tid/name fields the viewers require (cat
-                too, except on counter events). *)
+     (default)       JSON-lines, e.g. `ppdm mine --stats json`: every
+                     non-empty line must parse and carry a "type" field.
+     --trace         one Chrome trace-event document, e.g. `ppdm private
+                     --trace out.json`: a JSON array whose every element
+                     has the ph/ts/pid/tid/name fields the viewers
+                     require (cat too, except on counter events).
+     --openmetrics   one OpenMetrics text document, e.g. `ppdm stat
+                     --raw`: must pass the structural checks of
+                     [Ppdm_obs.Exposition.validate]. *)
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -77,8 +80,16 @@ let check_trace () =
     events;
   Printf.printf "json_check: trace ok (%d events)\n" (List.length events)
 
+let check_openmetrics () =
+  match Ppdm_obs.Exposition.validate (read_all stdin) with
+  | Ok samples ->
+      Printf.printf "json_check: openmetrics ok (%d samples)\n"
+        (List.length samples)
+  | Error e -> fail "openmetrics invalid: %s" e
+
 let () =
   match Sys.argv with
   | [| _ |] -> check_lines ()
   | [| _; "--trace" |] -> check_trace ()
-  | _ -> fail "usage: json_check [--trace] < input"
+  | [| _; "--openmetrics" |] -> check_openmetrics ()
+  | _ -> fail "usage: json_check [--trace|--openmetrics] < input"

@@ -32,6 +32,7 @@ let () =
       ("accountant", Test_accountant.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
       ("server", Test_server.suite);
     ]

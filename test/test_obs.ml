@@ -73,6 +73,8 @@ let test_histogram_buckets () =
       | [ ("h", h) ] ->
           Alcotest.(check int) "count" 9 h.Metrics.count;
           Alcotest.(check int) "sum clamps negatives to 0" 1025 h.Metrics.sum;
+          Alcotest.(check int) "exact min (after the 0 clamp)" 0 h.Metrics.min;
+          Alcotest.(check int) "exact max" 1000 h.Metrics.max;
           Alcotest.(check (list (pair int int)))
             "buckets: (lower_bound, count), ascending"
             [ (0, 2); (1, 1); (2, 2); (4, 2); (8, 1); (512, 1) ]

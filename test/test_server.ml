@@ -387,6 +387,16 @@ let test_snapshot_json () =
           Alcotest.(check bool) "every report counted" true
             (field "reports" full
             = Some (Ppdm_obs.Json.Int (Array.length data)));
+          (match field "metrics" full with
+          | Some (Ppdm_obs.Json.Obj _ as m) ->
+              Alcotest.(check bool) "metrics.folded counts every report" true
+                (field "folded" m
+                = Some (Ppdm_obs.Json.Int (Array.length data)));
+              Alcotest.(check bool) "metrics.queued drained after flush" true
+                (field "queued" m = Some (Ppdm_obs.Json.Int 0));
+              Alcotest.(check bool) "metrics.shards reflects config" true
+                (field "shards" m = Some (Ppdm_obs.Json.Int 2))
+          | _ -> Alcotest.fail "snapshot lacks a metrics object");
           match field "itemsets" full with
           | Some (Ppdm_obs.Json.List (first :: _)) ->
               Alcotest.(check bool) "observed all reports" true
