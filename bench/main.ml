@@ -933,6 +933,113 @@ let b11 () =
     "(loopback run-to-run noise swamps single-digit percentages; judge \
      overhead across several runs)"
 
+let b12 () =
+  header
+    "B12 Columnar storage: compressed containers vs in-RAM tid-sets (QUEST)";
+  (* The compressed path must buy its memory saving without giving the
+     counting throughput back: level-2 counting over roaring-style
+     containers against the plain dense/sparse engine on the same data,
+     plus the one-off convert cost and the bytes each form keeps
+     resident.  The acceptance bar is a count ratio within 2x. *)
+  let quest ~universe ~n ~avg =
+    let rng = Rng.create ~seed:11 () in
+    Ppdm_datagen.Quest.generate rng
+      {
+        Ppdm_datagen.Quest.default with
+        universe;
+        n_transactions = n;
+        avg_transaction_size = avg;
+      }
+  in
+  let datasets =
+    [
+      ("dense", quest ~universe:100 ~n:20_000 ~avg:20.);
+      ("sparse", quest ~universe:2_000 ~n:20_000 ~avg:5.);
+    ]
+  in
+  let time f =
+    let inner = 10 and reps = 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to inner do
+        f ()
+      done;
+      best := Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int inner)
+    done;
+    !best
+  in
+  let min_support = 0.02 in
+  List.iter
+    (fun (label, db) ->
+      let src = Filename.temp_file "ppdm_b12" ".fimi" in
+      let dst = Filename.temp_file "ppdm_b12" ".ppdmc" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ src; dst ])
+        (fun () ->
+          Io.write_fimi src db;
+          let t0 = Unix.gettimeofday () in
+          let cstats = Colfile.convert ~src ~dst () in
+          let convert_dt = Unix.gettimeofday () -. t0 in
+          let tx_per_sec = float_of_int (Db.length db) /. Float.max 1e-9 convert_dt in
+          emit ~section:"b12"
+            ~name:(Printf.sprintf "convert/%s" label)
+            ~ns_per_op:(convert_dt *. 1e9) ~throughput:tx_per_sec ();
+          let vt = Vertical.load db in
+          let cf = Colfile.open_file dst in
+          let cvt =
+            Fun.protect
+              ~finally:(fun () -> Colfile.close cf)
+              (fun () -> Vertical.of_colfile cf)
+          in
+          let plain_bytes = Vertical.resident_bytes vt in
+          let col_bytes = Vertical.resident_bytes cvt in
+          let cs = Vertical.container_stats cvt in
+          Printf.printf
+            "  [%s] %d tx, %d items: %d containers (%d dense / %d sparse / \
+             %d run), file %d payload bytes, convert %.3fs (%.0f tx/s)\n"
+            label (Db.length db) (Db.universe db)
+            (cs.Column.dense + cs.Column.sparse + cs.Column.run)
+            cs.Column.dense cs.Column.sparse cs.Column.run
+            cstats.Colfile.cv_payload_bytes convert_dt tx_per_sec;
+          Printf.printf
+            "  [%s] resident bytes: in-RAM %d, columnar %d (%.2fx smaller)\n"
+            label plain_bytes col_bytes
+            (float_of_int plain_bytes /. float_of_int (max 1 col_bytes));
+          let frequent1 =
+            List.map fst (Apriori.mine db ~min_support ~max_size:1)
+          in
+          let candidates = Apriori.candidates_from ~frequent:frequent1 ~size:2 in
+          let prepared = Vertical.prepare candidates in
+          let scratch = Vertical.make_scratch vt in
+          let cscratch = Vertical.make_scratch cvt in
+          let plain_dt =
+            time (fun () -> ignore (Vertical.count_into ~scratch vt prepared))
+          in
+          let col_dt =
+            time (fun () ->
+                ignore (Vertical.count_into ~scratch:cscratch cvt prepared))
+          in
+          emit ~section:"b12"
+            ~name:(Printf.sprintf "count/%s/in-ram" label)
+            ~ns_per_op:(plain_dt *. 1e9) ~throughput:(1. /. plain_dt) ();
+          emit ~section:"b12"
+            ~name:(Printf.sprintf "count/%s/columnar" label)
+            ~ns_per_op:(col_dt *. 1e9) ~throughput:(1. /. col_dt) ();
+          (* memory wins nothing if the counts drift: mining from the file
+             must stay byte-identical to the in-RAM engine *)
+          let identical =
+            Apriori.mine_vertical cvt ~min_support ~max_size:3
+            = Apriori.mine ~counter:Apriori.Vertical db ~min_support ~max_size:3
+          in
+          Printf.printf
+            "  [%s] level-2 count: in-RAM %.6fs, columnar %.6fs (%.2fx \
+             of in-RAM); mined output identical: %s\n"
+            label plain_dt col_dt (col_dt /. plain_dt)
+            (if identical then "yes" else "NO — CORRECTNESS VIOLATION")))
+    datasets
+
 (* Wall-clock per section keeps the harness honest about its own cost. *)
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -944,7 +1051,7 @@ let sections =
     ("f4", f4); ("f5", f5); ("a1", a1); ("a2", a2); ("a4", a4); ("e1", e1);
     ("b1", b1); ("b2", b2); ("a3", a3); ("b3", b3); ("b4", b4); ("b5", b5);
     ("b6", b6); ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10);
-    ("b11", b11) ]
+    ("b11", b11); ("b12", b12) ]
 
 (* Value of `--flag V` anywhere in argv, or None. *)
 let argv_opt flag =

@@ -238,6 +238,50 @@ let gen_cmd =
 
 let in_term = Arg.(required & opt (some string) None & info [ "in"; "i" ] ~doc:"Input database file.")
 
+(* mine/private/recover take either a row-major file (--in) or a columnar
+   .ppdmc file (--db); the optional variant of in_term pairs with db_term
+   and [resolve_source] enforces exactly-one. *)
+let in_opt_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "in"; "i" ] ~doc:"Input database file.")
+
+let db_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "db" ]
+        ~docv:"FILE"
+        ~doc:
+          "Columnar database file (.ppdmc, written by $(b,ppdm convert)): \
+           per-item compressed tid-set containers are loaded and counted \
+           in place — the row-major database is never materialized.  \
+           Mutually exclusive with $(b,--in).")
+
+let resolve_source ~who input dbfile =
+  match (input, dbfile) with
+  | Some path, None -> `Row path
+  | None, Some path -> `Columnar path
+  | Some _, Some _ ->
+      Printf.eprintf "%s: --in and --db are mutually exclusive\n" who;
+      exit 2
+  | None, None ->
+      Printf.eprintf "%s: one of --in or --db is required\n" who;
+      exit 2
+
+let with_colfile ~who path f =
+  let cf =
+    try Colfile.open_file path with
+    | Colfile.Error e ->
+        Printf.eprintf "%s: %s: %s\n" who path (Colfile.error_message e);
+        exit 1
+    | Sys_error msg ->
+        Printf.eprintf "%s: %s\n" who msg;
+        exit 1
+  in
+  Fun.protect ~finally:(fun () -> Colfile.close cf) (fun () -> f cf)
+
 let randomize_cmd =
   let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output tagged file.") in
   let scheme_out =
@@ -377,25 +421,46 @@ let mine_cmd =
   let min_confidence =
     Arg.(value & opt (some float) None & info [ "rules" ] ~doc:"Also emit rules at this confidence.")
   in
-  let run input min_support max_size min_confidence counter_spec seed jobs
-      sched unsafe stats trace =
+  let run input dbfile min_support max_size min_confidence counter_spec seed
+      jobs sched unsafe stats trace =
+    let source = resolve_source ~who:"mine" input dbfile in
+    (match (source, counter_spec) with
+    | `Columnar _, (Counter_exact Apriori.Trie | Counter_sampled _) ->
+        (* the trie walks transactions and the sampler plans over an
+           in-RAM transpose; columnar input counts on its containers *)
+        prerr_endline
+          "mine: --db supports only the vertical/auto counters (use --in \
+           for trie or sampled counting)";
+        exit 2
+    | _ -> ());
     with_obs stats trace @@ fun () ->
     set_kernels unsafe;
-    let db = Io.read_file input in
-    let counter = resolve_counter_spec counter_spec ~seed in
-    let frequent =
-      Pool.with_pool ~jobs (fun pool ->
-          Parallel.apriori_mine pool ~sched db ~min_support ~max_size ~counter)
+    let n, frequent =
+      match source with
+      | `Row path ->
+          let db = Io.read_file path in
+          let counter = resolve_counter_spec counter_spec ~seed in
+          ( Db.length db,
+            Pool.with_pool ~jobs (fun pool ->
+                Parallel.apriori_mine pool ~sched db ~min_support ~max_size
+                  ~counter) )
+      | `Columnar path ->
+          with_colfile ~who:"mine" path @@ fun cf ->
+          let vt = Vertical.of_colfile cf in
+          ( Vertical.length vt,
+            Pool.with_pool ~jobs (fun pool ->
+                Parallel.apriori_mine_vertical pool ~sched vt ~min_support
+                  ~max_size) )
     in
     Printf.printf "%d frequent itemsets at minsup %.3f:\n" (List.length frequent) min_support;
     List.iter
       (fun (s, c) ->
         Printf.printf "  %s  %.4f\n" (Itemset.to_string s)
-          (float_of_int c /. float_of_int (Db.length db)))
+          (float_of_int c /. float_of_int n))
       frequent;
     Option.iter
       (fun min_confidence ->
-        let rules = Rules.generate ~frequent ~n_transactions:(Db.length db) ~min_confidence in
+        let rules = Rules.generate ~frequent ~n_transactions:n ~min_confidence in
         Printf.printf "%d rules at confidence >= %.2f:\n" (List.length rules) min_confidence;
         List.iter (fun r -> Format.printf "  %a@." Rules.pp_rule r) rules)
       min_confidence
@@ -403,18 +468,27 @@ let mine_cmd =
   Cmd.v
     (Cmd.info "mine" ~doc:"Non-private Apriori over a database file.")
     Term.(
-      const run $ in_term $ minsup_term $ maxsize_term $ min_confidence
-      $ counter_term $ seed_term $ jobs_term $ sched_term
+      const run $ in_opt_term $ db_term $ minsup_term $ maxsize_term
+      $ min_confidence $ counter_term $ seed_term $ jobs_term $ sched_term
       $ unsafe_kernels_term $ stats_term $ trace_term)
 
 (* -------------------------------------------------------------- private *)
 
 let private_cmd =
-  let run input spec min_support max_size counter_spec seed jobs sched unsafe
-      stats trace =
+  let run input dbfile spec min_support max_size counter_spec seed jobs sched
+      unsafe stats trace =
+    let source = resolve_source ~who:"private" input dbfile in
     with_obs stats trace @@ fun () ->
     set_kernels unsafe;
-    let db = Io.read_file input in
+    let db =
+      match source with
+      | `Row path -> Io.read_file path
+      | `Columnar path ->
+          (* randomization is inherently row-major (it rewrites
+             transactions), so a columnar source is transposed back *)
+          with_colfile ~who:"private" path (fun cf ->
+              Vertical.to_db (Vertical.of_colfile cf))
+    in
     let scheme = scheme_of_spec ~universe:(Db.universe db) spec in
     let counter = resolve_counter_spec counter_spec ~seed in
     let rng = Rng.create ~seed () in
@@ -441,7 +515,8 @@ let private_cmd =
     (Cmd.info "private"
        ~doc:"End-to-end demo: randomize, mine privately, compare to ground truth.")
     Term.(
-      const run $ in_term $ operator_term $ minsup_term $ maxsize_term
+      const run $ in_opt_term $ db_term $ operator_term $ minsup_term
+      $ maxsize_term
       $ counter_term $ seed_term $ jobs_term $ sched_term
       $ unsafe_kernels_term $ stats_term $ trace_term)
 
@@ -479,7 +554,23 @@ let recover_cmd =
       Array.map (fun i -> data.(i)) chosen
     end
   in
-  let run input spec scheme_file items counter_spec seed stats trace =
+  let run input dbfile spec scheme_file items counter_spec seed stats trace =
+    let source = resolve_source ~who:"recover" input dbfile in
+    match source with
+    | `Columnar path ->
+        (* the un-randomized columnar file: the itemset's support is a
+           direct count, no estimator and no variance *)
+        with_obs stats trace @@ fun () ->
+        with_colfile ~who:"recover" path @@ fun cf ->
+        let vt = Vertical.of_colfile cf in
+        let itemset = Itemset.of_list items in
+        let n = Vertical.length vt in
+        let count = Vertical.support_count vt itemset in
+        Printf.printf "exact support of %s: %.5f (sigma 0.00000, N = %d)\n"
+          (Itemset.to_string itemset)
+          (if n = 0 then 0. else float_of_int count /. float_of_int n)
+          n
+    | `Row input ->
     with_obs stats trace @@ fun () ->
     let universe, data = read_tagged input in
     let scheme =
@@ -514,10 +605,13 @@ let recover_cmd =
         e.Estimator.n_transactions
   in
   Cmd.v
-    (Cmd.info "recover" ~doc:"Estimate an itemset's support from a tagged randomized file.")
+    (Cmd.info "recover"
+       ~doc:
+         "Estimate an itemset's support from a tagged randomized file (or \
+          count it exactly from a columnar $(b,--db) file).")
     Term.(
-      const run $ in_term $ operator_term $ scheme_file $ itemset_term
-      $ counter_term $ seed_term $ stats_term $ trace_term)
+      const run $ in_opt_term $ db_term $ operator_term $ scheme_file
+      $ itemset_term $ counter_term $ seed_term $ stats_term $ trace_term)
 
 (* ---------------------------------------------------------------- stats *)
 
@@ -1090,12 +1184,65 @@ let bench_diff_cmd =
           any shared measurement regresses beyond the tolerance.")
     Term.(const run $ baseline $ current $ tolerance)
 
+(* -------------------------------------------------------------- convert *)
+
+let convert_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC"
+          ~doc:"Source transaction file (FIMI or header format, sniffed).")
+  in
+  let dst =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DST" ~doc:"Columnar output file (.ppdmc).")
+  in
+  let universe =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "universe" ]
+          ~doc:
+            "Universe override for FIMI input (default: inferred as max \
+             item + 1).  An item at or above it is an error, never \
+             silently folded in.")
+  in
+  let run src dst universe stats trace =
+    with_obs stats trace @@ fun () ->
+    match Colfile.convert ?universe ~src ~dst () with
+    | s ->
+        Printf.printf
+          "wrote %s: %d transactions over %d items, %d containers (%d \
+           dense, %d sparse, %d run), %d payload bytes\n"
+          dst s.Colfile.cv_transactions s.Colfile.cv_universe
+          s.Colfile.cv_blocks s.Colfile.cv_dense s.Colfile.cv_sparse
+          s.Colfile.cv_run s.Colfile.cv_payload_bytes
+    | exception Io.Item_out_of_universe { item; universe } ->
+        Printf.eprintf "convert: item %d outside the declared universe %d\n"
+          item universe;
+        exit 1
+    | exception Failure msg ->
+        Printf.eprintf "convert: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Transpose a transaction file into the compressed columnar \
+          format (.ppdmc) in one streaming pass — the source database is \
+          never resident, so files larger than RAM convert fine.  The \
+          result feeds $(b,--db) on mine/private/recover.")
+    Term.(const run $ src $ dst $ universe $ stats_term $ trace_term)
+
 let main =
   Cmd.group
     (Cmd.info "ppdm" ~version:"1.0.0"
        ~doc:"Privacy-preserving data mining with amplification-bounded randomization.")
     [ gen_cmd; randomize_cmd; analyze_cmd; mine_cmd; private_cmd; recover_cmd;
-      stats_cmd; experiment_cmd; serve_cmd; load_cmd; top_cmd; stat_cmd;
-      selftest_cmd; bench_diff_cmd ]
+      convert_cmd; stats_cmd; experiment_cmd; serve_cmd; load_cmd; top_cmd;
+      stat_cmd; selftest_cmd; bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -11,6 +11,13 @@ let sequential_miners ?max_size () =
     ( "apriori-vertical",
       fun db ~min_support ->
         Apriori.mine ?max_size ~counter:Apriori.Vertical db ~min_support );
+    (* the compressed-container kernels, driven file-free: transpose,
+       re-encode every tid-set as a roaring-style column, mine in place *)
+    ( "apriori-columnar",
+      fun db ~min_support ->
+        Apriori.mine_vertical ?max_size
+          (Vertical.compress (Vertical.of_db db))
+          ~min_support );
     ("eclat", fun db ~min_support -> Eclat.mine ?max_size db ~min_support);
     ("fp-growth", fun db ~min_support -> Fptree.mine ?max_size db ~min_support);
     (* sampled at F = 1.0 is contractually byte-identical to the exact
@@ -34,6 +41,11 @@ let parallel_miners ?max_size pool =
       fun db ~min_support ->
         Ppdm_runtime.Parallel.apriori_mine pool ?max_size
           ~counter:Apriori.Vertical db ~min_support );
+    ( "parallel-apriori-columnar/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.apriori_mine_vertical pool ?max_size
+          (Vertical.compress (Vertical.of_db db))
+          ~min_support );
     ( "parallel-eclat/j" ^ j,
       fun db ~min_support ->
         Ppdm_runtime.Parallel.eclat_mine pool ?max_size db ~min_support );
@@ -52,6 +64,12 @@ let parallel_miners ?max_size pool =
       fun db ~min_support ->
         Ppdm_runtime.Parallel.apriori_mine pool ~sched:Ppdm_runtime.Pool.Stealing
           ?max_size ~counter:Apriori.Vertical db ~min_support );
+    ( "parallel-apriori-columnar-stealing/j" ^ j,
+      fun db ~min_support ->
+        Ppdm_runtime.Parallel.apriori_mine_vertical pool
+          ~sched:Ppdm_runtime.Pool.Stealing ?max_size
+          (Vertical.compress (Vertical.of_db db))
+          ~min_support );
     ( "parallel-eclat-stealing/j" ^ j,
       fun db ~min_support ->
         Ppdm_runtime.Parallel.eclat_mine pool ~sched:Ppdm_runtime.Pool.Stealing

@@ -318,10 +318,11 @@ let kernel_differential_check () =
     small_candidates 6
     @ [ Itemset.of_list [ 0; 2; 4 ]; Itemset.of_list [ 2; 3; 4 ] ]
   in
-  let check_one ~n ~rep_label ~dense_cutoff ~unsafe =
+  let check_one ~n ~rep_label ~dense_cutoff ~compress ~unsafe =
     let db = kernel_db n in
     let reference = Oracle.canonical (Ppdm_mining.Count.support_counts db cands) in
     let vt = V.load ?dense_cutoff db in
+    let vt = if compress then V.compress vt else vt in
     Fun.protect
       ~finally:(fun () -> V.set_unsafe_kernels false)
       (fun () ->
@@ -368,9 +369,14 @@ let kernel_differential_check () =
   in
   let reps =
     [
-      ("adaptive", None);
-      ("all-dense", Some 0.0);
-      ("all-sparse", Some 2.0);
+      ("adaptive", None, false);
+      ("all-dense", Some 0.0, false);
+      ("all-sparse", Some 2.0, false);
+      (* roaring-style containers counted without decompression; both
+         plain starting representations so the container chooser sees
+         dense words and sparse tid arrays *)
+      ("compressed-of-dense", Some 0.0, true);
+      ("compressed-of-sparse", Some 2.0, true);
     ]
   in
   let rec widths = function
@@ -378,11 +384,13 @@ let kernel_differential_check () =
     | n :: rest ->
         let rec by_rep = function
           | [] -> widths rest
-          | (rep_label, dense_cutoff) :: more ->
+          | (rep_label, dense_cutoff, compress) :: more ->
               let rec by_mode = function
                 | [] -> by_rep more
                 | unsafe :: modes -> (
-                    match check_one ~n ~rep_label ~dense_cutoff ~unsafe with
+                    match
+                      check_one ~n ~rep_label ~dense_cutoff ~compress ~unsafe
+                    with
                     | Error _ as e -> e
                     | Ok () -> by_mode modes)
               in
@@ -428,6 +436,82 @@ let fuzz_roundtrip_checks ~seed ~count =
                        (Db.transactions db)
                    then Ok ()
                    else Error "transactions changed across FIMI write/read"))) );
+    ( "fuzz: columnar convert/load round-trip",
+      fun () ->
+        prop
+          (Property.check_result ~seed ~count:(max 10 (count / 4))
+             ~name:"columnar round-trip" db_gen (fun db ->
+               with_temp ".txt" (fun p -> Io.write_file p db) (fun src ->
+                   with_temp ".ppdmc" (fun _ -> ()) (fun dst ->
+                       ignore (Colfile.convert ~src ~dst ());
+                       let cf = Colfile.open_file dst in
+                       Fun.protect
+                         ~finally:(fun () -> Colfile.close cf)
+                         (fun () ->
+                           let back =
+                             Ppdm_mining.Vertical.to_db
+                               (Ppdm_mining.Vertical.of_colfile cf)
+                           in
+                           if
+                             Db.universe back = Db.universe db
+                             && Array.for_all2 Itemset.equal
+                                  (Db.transactions back) (Db.transactions db)
+                           then Ok ()
+                           else
+                             Error
+                               "database changed across convert/of_colfile")))))
+    );
+    ( "fuzz: columnar reader survives corruption",
+      fun () ->
+        (* deterministic single-byte corruption over a real PPDMC file:
+           every position must surface as the typed Colfile.Error or decode
+           to something structurally valid — never any other exception *)
+        let db =
+          Gen.generate db_gen (Rng.create ~seed:(seed + 7) ()) ~size:12
+        in
+        let read_all path =
+          let cf = Colfile.open_file path in
+          Fun.protect
+            ~finally:(fun () -> Colfile.close cf)
+            (fun () ->
+              for item = 0 to Colfile.universe cf - 1 do
+                ignore (Colfile.column cf item)
+              done)
+        in
+        with_temp ".txt" (fun p -> Io.write_file p db) (fun src ->
+            with_temp ".ppdmc" (fun _ -> ()) (fun dst ->
+                ignore (Colfile.convert ~src ~dst ());
+                let ic = open_in_bin dst in
+                let good =
+                  Fun.protect
+                    ~finally:(fun () -> close_in ic)
+                    (fun () ->
+                      really_input_string ic (in_channel_length ic))
+                in
+                let len = String.length good in
+                let rec go pos =
+                  if pos >= len then Ok ()
+                  else begin
+                    let bad = Bytes.of_string good in
+                    Bytes.set bad pos
+                      (Char.chr (Char.code good.[pos] lxor 0x55));
+                    with_temp ".ppdmc"
+                      (fun p ->
+                        let oc = open_out_bin p in
+                        output_bytes oc bad;
+                        close_out oc)
+                      (fun p ->
+                        match read_all p with
+                        | () -> go (pos + 1)
+                        | exception Colfile.Error _ -> go (pos + 1)
+                        | exception e ->
+                            Error
+                              (Printf.sprintf
+                                 "flipping byte %d of %d leaked %s" pos len
+                                 (Printexc.to_string e)))
+                  end
+                in
+                go 0)) );
     ( "fuzz: Scheme_io write/read round-trip",
       fun () ->
         prop
@@ -467,6 +551,7 @@ let fuzz_roundtrip_checks ~seed ~count =
               | _ -> true
               | exception Failure _ -> true
               | exception Invalid_argument _ -> true
+              | exception Colfile.Error _ -> true
               | exception _ -> false)
         in
         prop
@@ -476,6 +561,11 @@ let fuzz_roundtrip_checks ~seed ~count =
                  survives Io.read_file s
                  && survives (fun p -> Io.read_fimi p) s
                  && survives Scheme_io.read_file s
+                 && survives
+                      (fun p ->
+                        let cf = Colfile.open_file p in
+                        Colfile.close cf)
+                      s
                then Ok ()
                else Error "a parser leaked an undocumented exception")) );
   ]

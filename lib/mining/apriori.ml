@@ -80,12 +80,15 @@ let absolute_threshold ~n ~min_support =
     invalid_arg "Apriori.absolute_threshold: min_support out of (0,1]";
   Threshold.absolute ~n ~min_support
 
-(* Level 1 straight from the per-item counts. *)
-let level1 db ~threshold =
-  Db.item_counts db |> Array.to_seqi
+(* Level 1 straight from per-item counts — an array is all it takes, so
+   the columnar path (which has counts but no Db) seeds the same way. *)
+let level1_of_counts counts ~threshold =
+  counts |> Array.to_seqi
   |> Seq.filter_map (fun (item, c) ->
          if c >= threshold then Some (Itemset.singleton item, c) else None)
   |> List.of_seq
+
+let level1 db ~threshold = level1_of_counts (Db.item_counts db) ~threshold
 
 (* Per-level observability shared with the parallel driver: candidate and
    survivor counts per Apriori level (names are computed, so the whole
@@ -107,6 +110,40 @@ let with_level_span ~size f =
   if Ppdm_obs.Metrics.any_enabled () then
     Ppdm_obs.Span.with_ ~name:(Printf.sprintf "apriori.level%d" size) f
   else f ()
+
+(* The engine-independent level-wise loop, shared by every Apriori driver
+   (sequential and parallel, row-major and columnar): seed with level 1,
+   then generate-count-filter until the cap or an empty level.  All
+   engines produce Itemset.compare-sorted (itemset, count) lists with
+   identical counts, so the mined output is byte-identical across
+   drivers. *)
+let run_levels ?max_size ~threshold ~level1 ~count_level () =
+  let cap = Option.value max_size ~default:max_int in
+  let level1 = with_level_span ~size:1 level1 in
+  record_level ~size:1 ~candidates:level1 ~frequent:level1;
+  let rec levels acc current size =
+    if size > cap || current = [] then acc
+    else begin
+      let next =
+        with_level_span ~size (fun () ->
+            let candidates =
+              candidates_from ~frequent:(List.map fst current) ~size
+            in
+            if candidates = [] then []
+            else begin
+              let counted = count_level candidates in
+              let next = List.filter (fun (_, c) -> c >= threshold) counted in
+              record_level ~size ~candidates ~frequent:next;
+              next
+            end)
+      in
+      (* rev_append, not (@): the final sort fixes the order, and
+         appending per level is quadratic in the output size. *)
+      levels (List.rev_append next acc) next (size + 1)
+    end
+  in
+  let result = if cap < 1 then [] else levels level1 level1 2 in
+  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
 
 type counter =
   | Trie
@@ -134,10 +171,6 @@ let mine ?max_size ?(counter = Trie) db ~min_support =
   Ppdm_obs.Span.with_ ~name:"apriori.mine" (fun () ->
       let n = Db.length db in
       let threshold = absolute_threshold ~n ~min_support in
-      let cap = Option.value max_size ~default:max_int in
-      (* Both engines produce Itemset.compare-sorted (itemset, count)
-         lists with identical counts, so everything below the choice is
-         engine-independent and the mined output is byte-identical. *)
       let count_level =
         match resolve_counter counter db with
         | `Trie ->
@@ -148,7 +181,7 @@ let mine ?max_size ?(counter = Trie) db ~min_support =
             (* Lazy: a run capped at level 1 never needs the transpose. *)
             let state =
               lazy
-                (let vt = Vertical.load db in
+                (let vt = Vertical.of_db db in
                  (vt, Vertical.make_scratch vt))
             in
             fun candidates ->
@@ -161,7 +194,7 @@ let mine ?max_size ?(counter = Trie) db ~min_support =
                stays exact (it reads Db.item_counts, not the sample). *)
             let state =
               lazy
-                (let vt = Vertical.load db in
+                (let vt = Vertical.of_db db in
                  let plan =
                    Sampled.plan ~n:(Vertical.length vt)
                      ~word_count:(Vertical.word_count vt) ~fraction ~seed ()
@@ -172,30 +205,28 @@ let mine ?max_size ?(counter = Trie) db ~min_support =
               let vt, scratch, plan = Lazy.force state in
               Sampled.support_counts ~scratch vt plan candidates
       in
-      let level1 = with_level_span ~size:1 (fun () -> level1 db ~threshold) in
-      record_level ~size:1 ~candidates:level1 ~frequent:level1;
-      let rec levels acc current size =
-        if size > cap || current = [] then acc
-        else begin
-          let next =
-            with_level_span ~size (fun () ->
-                let candidates =
-                  candidates_from ~frequent:(List.map fst current) ~size
-                in
-                if candidates = [] then []
-                else begin
-                  let counted = count_level candidates in
-                  let next =
-                    List.filter (fun (_, c) -> c >= threshold) counted
-                  in
-                  record_level ~size ~candidates ~frequent:next;
-                  next
-                end)
-          in
-          (* rev_append, not (@): the final sort fixes the order, and
-             appending per level is quadratic in the output size. *)
-          levels (List.rev_append next acc) next (size + 1)
-        end
+      run_levels ?max_size ~threshold
+        ~level1:(fun () -> level1 db ~threshold)
+        ~count_level ())
+
+(* Mine an already-vertical database — the entry point for columnar
+   input, where no Db.t ever exists: level 1 seeds from the per-item
+   counts and every level counts on the (possibly compressed) tid-sets
+   in place. *)
+let mine_vertical ?max_size vt ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Apriori.mine_vertical: min_support out of (0,1]";
+  Ppdm_obs.Span.with_ ~name:"apriori.mine" (fun () ->
+      Ppdm_obs.Metrics.incr "apriori.counter.vertical";
+      let threshold =
+        absolute_threshold ~n:(Vertical.length vt) ~min_support
       in
-      let result = if cap < 1 then [] else levels level1 level1 2 in
-      List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result)
+      let counts =
+        Array.init (Vertical.universe vt) (Vertical.item_count vt)
+      in
+      let scratch = Vertical.make_scratch vt in
+      run_levels ?max_size ~threshold
+        ~level1:(fun () -> level1_of_counts counts ~threshold)
+        ~count_level:(fun candidates ->
+          Vertical.support_counts ~scratch vt candidates)
+        ())

@@ -44,6 +44,31 @@ val mine :
     (default [Trie], the historical behaviour).
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
+val mine_vertical :
+  ?max_size:int -> Vertical.t -> min_support:float -> (Itemset.t * int) list
+(** [mine] for a database already in vertical form — the entry point for
+    columnar input ({!Vertical.of_colfile}), where the row-major [Db.t]
+    never exists: level 1 seeds from the per-item counts and every level
+    counts on the (possibly compressed) tid-sets in place.  Output is
+    byte-identical to [mine ~counter:Vertical] on the equivalent
+    database.
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)
+
+val run_levels :
+  ?max_size:int ->
+  threshold:int ->
+  level1:(unit -> (Itemset.t * int) list) ->
+  count_level:(Itemset.t list -> (Itemset.t * int) list) ->
+  unit ->
+  (Itemset.t * int) list
+(** The engine-independent level-wise loop every driver shares: seed with
+    [level1 ()], then generate ({!candidates_from}) / count
+    ([count_level], which must return {!Itemset.compare}-sorted pairs as
+    all engines do) / filter at [threshold], recording the per-level
+    metrics and spans, until [max_size] or an empty level.  Exposed so
+    external drivers (the parallel runtime) cannot drift from {!mine}'s
+    loop. *)
+
 val candidates_from :
   frequent:Itemset.t list -> size:int -> Itemset.t list
 (** Candidate generation used by level [size]: self-join of the frequent
@@ -61,6 +86,10 @@ val absolute_threshold : n:int -> min_support:float -> int
 val level1 : Db.t -> threshold:int -> (Itemset.t * int) list
 (** The frequent single items with their counts, in item order: the seed
     level of the level-wise loop.  Exposed for external drivers. *)
+
+val level1_of_counts : int array -> threshold:int -> (Itemset.t * int) list
+(** {!level1} from a bare per-item count array — the seed for drivers
+    that have no [Db.t], such as the columnar paths. *)
 
 val record_level : size:int -> candidates:'a list -> frequent:'b list -> unit
 (** Record the per-level candidate/survivor counters of the observability

@@ -16,7 +16,7 @@ let atoms db ~min_support =
     invalid_arg "Eclat.atoms: min_support out of (0,1]";
   Ppdm_obs.Span.with_ ~name:"eclat.atoms" @@ fun () ->
   let threshold = Threshold.absolute ~n:(Db.length db) ~min_support in
-  let vt = Vertical.load db in
+  let vt = Vertical.of_db db in
   let items =
     List.filter_map Fun.id
       (List.init (Db.universe db) (fun item ->

@@ -38,12 +38,52 @@ type t
 (** The vertical form of one database: per-item tid-sets plus item
     counts.  Immutable once built; safe to share across domains. *)
 
-val load : ?dense_cutoff:float -> Db.t -> t
-(** Transpose the database (one pass after {!Db.item_counts}).  An item
-    goes dense when its support fraction is at least [dense_cutoff];
+val of_db : ?dense_cutoff:float -> Db.t -> t
+(** Transpose an in-RAM database (one pass after {!Db.item_counts}).  An
+    item goes dense when its support fraction is at least [dense_cutoff];
     the default [1/62] is the memory break-even point, where the bitmap
     is no larger than the tid array it replaces.
     @raise Invalid_argument if [dense_cutoff] is negative (or NaN). *)
+
+val load : ?dense_cutoff:float -> Db.t -> t
+(** Alias of {!of_db} (the historic name — [of_db] marks it as one
+    constructor among several now that columns can also come from a
+    {!Ppdm_data.Colfile}). *)
+
+val of_colfile : Colfile.t -> t
+(** Load from an open columnar file: every item arrives as a {e
+    compressed} column counted in place — the row-major database is never
+    materialized, so peak memory is the compressed payload plus the
+    directory.  Emits the ["columnar.load"] span and [columnar.*]
+    counters when observation is enabled.
+    @raise Colfile.Error on corrupt container data. *)
+
+val compress : t -> t
+(** Re-encode every tid-set as a compressed column (shares nothing with
+    the input's bitmaps/arrays).  Counts are unchanged — the differential
+    suite holds [compress]ed counting bit-identical to the plain
+    engine — which makes this the file-free way to drive the compressed
+    kernels. *)
+
+val to_db : t -> Db.t
+(** Transpose back to the row-major form (exact inverse of {!of_db} up to
+    representation), for pipelines that need a [Db.t] — e.g. randomizing
+    a database that was loaded from a columnar file. *)
+
+val resident_bytes : t -> int
+(** Bytes held by the tid-set payloads under the current representations
+    (8 per bitmap word or tid, serialized container size per compressed
+    column) — the number the columnar format is trying to shrink. *)
+
+val container_stats : t -> Column.stats
+(** Aggregate container census over the compressed columns (zero if
+    nothing is compressed). *)
+
+val word_alignment : t -> int
+(** Preferred word-window alignment for sharding: {!Column.block_words}
+    when any column is compressed (cells then cut at container-block
+    seams), 1 otherwise.  Alignment is a locality hint only — windows of
+    any alignment count correctly. *)
 
 val length : t -> int
 (** Number of transactions (the tid range is [0..length-1]). *)
@@ -58,6 +98,7 @@ val item_count : t -> int -> int
 
 val dense_items : t -> int
 val sparse_items : t -> int
+val compressed_items : t -> int
 (** How many items landed in each representation. *)
 
 val set_unsafe_kernels : bool -> unit
@@ -82,7 +123,11 @@ type tidset
 
 val item_tidset : t -> int -> tidset
 val tidset_cardinal : tidset -> int
+
 val tidset_is_dense : tidset -> bool
+(** [false] for sparse {e and} compressed tid-sets. *)
+
+val tidset_is_compressed : tidset -> bool
 
 val tidset_tids : tidset -> int array
 (** The ascending tids, materialized (fresh array). *)
@@ -97,8 +142,11 @@ val inter_tidsets : tidset -> tidset -> tidset * int
 (** Intersection and its cardinality.  The result representation is
     adaptive: it goes sparse when that is the smaller encoding, so deep
     Eclat chains degrade from word ANDs to cheap probes as tid-sets
-    shrink.  Cardinalities (and therefore all mined counts) never depend
-    on representation choices.
+    shrink.  A compressed operand is materialized into the cheaper plain
+    shape first (Eclat leaves the compressed domain at its first
+    intersection; the windowed batch kernels never do).  Cardinalities
+    (and therefore all mined counts) never depend on representation
+    choices.
     @raise Invalid_argument on dense operands of different word counts. *)
 
 (** {2 Batch counting} *)

@@ -113,7 +113,8 @@ let support_counts_vertical pool ?chunk ?cand_chunk ?sched vt candidates =
     Vertical.assemble prepared (Vertical.count_into vt prepared)
   else begin
     let grid =
-      Grid.plan ?word_chunk:chunk ?cand_chunk ~n_words ~n_candidates:n_cands ()
+      Grid.plan ?word_chunk:chunk ~align:(Vertical.word_alignment vt)
+        ?cand_chunk ~n_words ~n_candidates:n_cands ()
     in
     let tasks =
       Array.map
@@ -226,7 +227,7 @@ let apriori_mine pool ?chunk ?sched ?max_size ?(counter = Apriori.Trie) db
         fun candidates -> support_counts pool ?chunk ?sched db candidates
     | `Vertical ->
         Ppdm_obs.Metrics.incr "apriori.counter.vertical";
-        let state = lazy (Vertical.load db) in
+        let state = lazy (Vertical.of_db db) in
         fun candidates ->
           support_counts_vertical pool ?chunk ?sched (Lazy.force state)
             candidates
@@ -234,7 +235,7 @@ let apriori_mine pool ?chunk ?sched ?max_size ?(counter = Apriori.Trie) db
         Ppdm_obs.Metrics.incr "apriori.counter.sampled";
         let state =
           lazy
-            (let vt = Vertical.load db in
+            (let vt = Vertical.of_db db in
              let plan =
                Sampled.plan ~n:(Vertical.length vt)
                  ~word_count:(Vertical.word_count vt) ~fraction ~seed ()
@@ -246,34 +247,30 @@ let apriori_mine pool ?chunk ?sched ?max_size ?(counter = Apriori.Trie) db
           support_counts_sampled pool ?chunk ?sched vt plan candidates
   in
   let threshold = Apriori.absolute_threshold ~n:(Db.length db) ~min_support in
-  let cap = Option.value max_size ~default:max_int in
-  let level1 =
-    Apriori.with_level_span ~size:1 (fun () -> Apriori.level1 db ~threshold)
+  Apriori.run_levels ?max_size ~threshold
+    ~level1:(fun () -> Apriori.level1 db ~threshold)
+    ~count_level ()
+
+(* Mine an already-vertical database with grid-sharded counting — the
+   parallel entry point for columnar input, where no Db.t ever exists.
+   Same level loop, same cell-order reduction: the output is
+   bit-identical to [Apriori.mine_vertical] (and, via the differential
+   suite, to every other engine) at any job count and scheduler. *)
+let apriori_mine_vertical pool ?chunk ?cand_chunk ?sched ?max_size vt
+    ~min_support =
+  if min_support <= 0. || min_support > 1. then
+    invalid_arg "Parallel.apriori_mine_vertical: min_support out of (0,1]";
+  Ppdm_obs.Span.with_ ~name:"parallel.apriori" @@ fun () ->
+  Ppdm_obs.Metrics.incr "apriori.counter.vertical";
+  let threshold =
+    Apriori.absolute_threshold ~n:(Vertical.length vt) ~min_support
   in
-  Apriori.record_level ~size:1 ~candidates:level1 ~frequent:level1;
-  let rec levels acc current size =
-    if size > cap || current = [] then acc
-    else begin
-      let next =
-        Apriori.with_level_span ~size (fun () ->
-            let candidates =
-              Apriori.candidates_from ~frequent:(List.map fst current) ~size
-            in
-            if candidates = [] then []
-            else begin
-              let counted = count_level candidates in
-              let next = List.filter (fun (_, c) -> c >= threshold) counted in
-              Apriori.record_level ~size ~candidates ~frequent:next;
-              next
-            end)
-      in
-      (* rev_append, not (@): the final sort fixes the order, and
-         appending per level is quadratic in the output size. *)
-      levels (List.rev_append next acc) next (size + 1)
-    end
-  in
-  let result = if cap < 1 then [] else levels level1 level1 2 in
-  List.sort (fun (a, _) (b, _) -> Itemset.compare a b) result
+  let counts = Array.init (Vertical.universe vt) (Vertical.item_count vt) in
+  Apriori.run_levels ?max_size ~threshold
+    ~level1:(fun () -> Apriori.level1_of_counts counts ~threshold)
+    ~count_level:(fun candidates ->
+      support_counts_vertical pool ?chunk ?cand_chunk ?sched vt candidates)
+    ()
 
 let eclat_mine pool ?sched ?max_size db ~min_support =
   Ppdm_obs.Span.with_ ~name:"parallel.eclat" @@ fun () ->

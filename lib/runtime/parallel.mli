@@ -99,6 +99,21 @@ val apriori_mine :
     matches the sequential sampled run for the same fraction and seed).
     @raise Invalid_argument if [min_support] is outside (0, 1]. *)
 
+val apriori_mine_vertical :
+  Pool.t -> ?chunk:int -> ?cand_chunk:int -> ?sched:Pool.sched ->
+  ?max_size:int -> Ppdm_mining.Vertical.t -> min_support:float ->
+  (Itemset.t * int) list
+(** [Apriori.mine_vertical] with every level sharded through
+    {!support_counts_vertical} — the parallel entry point for columnar
+    input ([Vertical.of_colfile]), where no [Db.t] ever exists.  Level 1
+    seeds from the per-item counts; when columns are compressed the grid
+    aligns its word windows to container-block seams
+    ([Vertical.word_alignment]) — a locality hint that, like the rest of
+    the plan, never depends on the job count.  Output is byte-identical
+    to [Apriori.mine_vertical] and to [apriori_mine ~counter:Vertical]
+    on the equivalent database, at any job count and scheduler.
+    @raise Invalid_argument if [min_support] is outside (0, 1]. *)
+
 val eclat_mine :
   Pool.t -> ?sched:Pool.sched -> ?max_size:int -> Db.t ->
   min_support:float -> (Itemset.t * int) list

@@ -74,17 +74,23 @@ let union = zip "union" ( lor )
 let inter = zip "inter" ( land )
 let diff = zip "diff" (fun x y -> x land lnot y)
 
+(* The one definition of the trailing-word mask: every packed
+   representation in the repo (this module, the vertical engine's
+   bitmaps, the columnar containers) keeps the bits above its width
+   zero, and this is the mask they zero against. *)
+let last_word_mask ~width =
+  if width <= 0 then invalid_arg "Bitset.last_word_mask: width must be positive";
+  let tail = width mod bits_per_word in
+  if tail = 0 then (1 lsl bits_per_word) - 1 else (1 lsl tail) - 1
+
 let complement t =
   (* [lnot] also sets the bits above the width (up to OCaml's 63); mask
      both the word width and the partial tail word so the all-zero-padding
      invariant every other operation relies on still holds. *)
   let full = (1 lsl bits_per_word) - 1 in
   let words = Array.map (fun w -> lnot w land full) t.words in
-  let tail = t.width mod bits_per_word in
-  if tail > 0 then begin
-    let last = Array.length words - 1 in
-    words.(last) <- words.(last) land ((1 lsl tail) - 1)
-  end;
+  let last = Array.length words - 1 in
+  words.(last) <- words.(last) land last_word_mask ~width:t.width;
   { t with words }
 
 let inter_cardinal a b =

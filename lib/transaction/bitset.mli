@@ -29,6 +29,15 @@ val words_for : int -> int
 (** How many words a packed set of the given width occupies:
     [ceil (width / bits_per_word)] (0 for width 0). *)
 
+val last_word_mask : width:int -> int
+(** The bits the final word of a packed set of [width] bits actually
+    uses: all [bits_per_word] bits when the width is a multiple, the low
+    [width mod bits_per_word] bits otherwise.  Every packed
+    representation (this module, the vertical engine, the columnar
+    containers) keeps the bits above its width zero; this is the single
+    definition of the mask they zero against.
+    @raise Invalid_argument if [width <= 0]. *)
+
 val popcount : int -> int
 (** Population count of a single word: branch-free SWAR, no table.
     Correct for any value a 63-bit OCaml int can hold; the packed

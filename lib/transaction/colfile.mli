@@ -1,0 +1,96 @@
+(** PPDMC — the on-disk columnar transaction format.
+
+    A PPDMC file is the transposed, compressed form of a transaction
+    database: per item, its {!Column.t} containers, behind a fixed
+    header and a directory of [(cardinality, offset, length)] slices.
+    The layout is mmap-friendly (position-independent payloads located
+    by one directory lookup), and the reader needs one seek + one read
+    per item, so a vertical load streams the file without the row-major
+    database ever being resident.
+
+    Layout (integers little-endian):
+    {v
+    0   6B   magic "PPDMC\x00"
+    6   u16  version (1)
+    8   u64  universe
+    16  u64  transactions
+    24  u64  payload bytes
+    32  directory: universe x (u64 card, u64 offset, u64 length)
+    ..  payload: per item, ascending blocks of
+        u32 block index | u8 tag | u16 count | body
+        tag 0 dense (count i64 words) / 1 sparse (count u16 offsets)
+        / 2 runs (count u16 start,stop pairs)
+    v}
+
+    Every decode path validates what it reads and raises the typed
+    {!Error} — a corrupt or truncated file never yields a partial
+    column. *)
+
+type error =
+  | Bad_magic  (** Not a PPDMC file. *)
+  | Unsupported_version of int
+  | Truncated of string  (** The file ends before [what] is complete. *)
+  | Corrupt of string  (** Structurally invalid content. *)
+
+exception Error of error
+
+val error_message : error -> string
+
+(** {1 Reading} *)
+
+type t
+(** An open columnar file: header + directory resident, container
+    payloads read on demand. *)
+
+val open_file : string -> t
+(** Validates the header, directory bounds, and total file size.
+    @raise Error on any violation.
+    @raise Sys_error if the file cannot be opened. *)
+
+val universe : t -> int
+val length : t -> int
+(** Transactions covered. *)
+
+val item_count : t -> int -> int
+(** Directory cardinality of an item, without touching its payload. *)
+
+val column : t -> int -> Column.t
+(** Seek to and decode one item's containers.  The result passes
+    {!Column.of_blocks} validation and is cross-checked against the
+    directory cardinality.
+    @raise Error on corrupt container data.
+    @raise Invalid_argument if the item is out of range or the file is
+    closed. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+(** {1 Writing} *)
+
+val write : string -> n:int -> Column.t array -> unit
+(** Serialize already-built columns (item [i] = [columns.(i)]); mainly
+    for tests — the CLI path is {!convert}.
+    @raise Invalid_argument on an empty array or a length mismatch. *)
+
+type convert_stats = {
+  cv_universe : int;
+  cv_transactions : int;
+  cv_payload_bytes : int;
+  cv_blocks : int;  (** non-empty containers written *)
+  cv_dense : int;
+  cv_sparse : int;
+  cv_run : int;
+}
+
+val convert : ?universe:int -> src:string -> dst:string -> unit -> convert_stats
+(** One-pass streaming transpose of a transaction file (FIMI or header
+    format, sniffed by {!Io.fold_transactions}) into a PPDMC file.  The
+    source database is never resident: each item accumulates only the
+    current 3968-tid block's offsets, and blocks are compressed the
+    moment the stream crosses a block boundary.  Emits the
+    ["columnar.convert"] span and [columnar.*] counters when observation
+    is enabled.
+    @raise Failure / {!Io.Item_out_of_universe} as
+    {!Io.fold_transactions}.
+    @raise Invalid_argument if [universe < 1].
+    @raise Sys_error on I/O failure. *)

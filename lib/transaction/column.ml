@@ -1,0 +1,816 @@
+(* Roaring-style compressed tid-set containers.
+
+   A column is the tid-set of one item over [n] transactions, cut into
+   fixed-width blocks of [block_words] 62-bit words (3968 tids).  Each
+   block independently picks the cheapest of three physical containers —
+   dense bitmap, packed sorted offsets, run-length intervals — by its
+   serialized size, so the randomization-induced dense regions compress
+   as runs while genuinely sparse tails stay as 2-byte offsets.  Every
+   kernel below works directly on the chosen containers over an explicit
+   word window; nothing is decompressed except into a caller's result
+   buffer. *)
+
+let bpw = Bitset.bits_per_word
+let block_words = 64
+let block_bits = block_words * bpw
+
+(* Quotient by [bpw] for block-relative bit positions.  ocamlopt does not
+   strength-reduce division by non-power-of-two constants, and the hot
+   kernels divide on every decoded offset; [(off * 16913) lsr 20] equals
+   [off / 62] for every off in [0, block_bits] (checked below), at about
+   60% of the hardware-divide latency. *)
+let div62 off = (off * 16913) lsr 20
+
+let () =
+  assert (bpw = 62);
+  for off = 0 to block_bits do
+    assert (div62 off = off / bpw)
+  done
+
+(* Offsets are block-relative bit positions (< block_bits = 3968, so they
+   fit u16) packed four per OCaml int, lowest 16 bits first.  Runs are
+   half-open [start, stop) intervals packed as [(start lsl 16) lor stop],
+   strictly ascending, non-overlapping and non-adjacent. *)
+type block =
+  | Empty
+  | Dense of int array
+  | Sparse of int * int array
+  | Runs of int array
+
+type t = { n : int; card : int; blocks : block array }
+
+let length t = t.n
+let cardinal t = t.card
+let word_count t = Bitset.words_for t.n
+let blocks t = t.blocks
+
+let sparse_get packed i = (packed.(i lsr 2) lsr ((i land 3) lsl 4)) land 0xFFFF
+let run_start v = v lsr 16
+let run_stop v = v land 0xFFFF
+
+let make_run ~start ~stop =
+  if start < 0 || stop <= start || stop > block_bits then
+    invalid_arg "Column.make_run: bad interval";
+  (start lsl 16) lor stop
+
+let pack_offsets offs =
+  let card = Array.length offs in
+  let packed = Array.make ((card + 3) / 4) 0 in
+  for i = 0 to card - 1 do
+    packed.(i lsr 2) <- packed.(i lsr 2) lor (offs.(i) lsl ((i land 3) lsl 4))
+  done;
+  packed
+
+(* First index in the packed offsets with an offset >= bound.  The
+   bound-0 / bound-past-the-block cases are the common full-window calls
+   and skip the search entirely (offsets always lie in [0, block_bits)). *)
+let sparse_lower packed card bound =
+  if bound <= 0 then 0
+  else if bound >= block_bits then card
+  else begin
+    let lo = ref 0 and hi = ref card in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sparse_get packed mid < bound then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+(* First run whose stop is > bound (the first that can intersect
+   [bound, ...)). *)
+let runs_lower rs bound =
+  if bound <= 0 then 0
+  else begin
+    let lo = ref 0 and hi = ref (Array.length rs) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if run_stop rs.(mid) <= bound then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+let full_word = Bitset.last_word_mask ~width:bpw
+
+(* Mask of bits [lo, hi) within one word, 0 <= lo < hi <= bpw. *)
+let word_mask ~lo ~hi =
+  if hi - lo = bpw then full_word else ((1 lsl (hi - lo)) - 1) lsl lo
+
+(* --- representation choice ----------------------------------------- *)
+
+let count_runs_of_offsets offs =
+  let nruns = ref 0 in
+  Array.iteri
+    (fun i off -> if i = 0 || off <> offs.(i - 1) + 1 then incr nruns)
+    offs;
+  !nruns
+
+let runs_of_offsets offs nruns =
+  let rs = Array.make nruns 0 in
+  let k = ref (-1) in
+  Array.iteri
+    (fun i off ->
+      if i = 0 || off <> offs.(i - 1) + 1 then begin
+        incr k;
+        rs.(!k) <- make_run ~start:off ~stop:(off + 1)
+      end
+      else rs.(!k) <- (rs.(!k) land lnot 0xFFFF) lor (off + 1))
+    offs;
+  rs
+
+(* Deterministic container choice by serialized size: dense costs 8 bytes
+   per word, sorted offsets 2 bytes each, runs 4 bytes each.  Ties prefer
+   offsets over runs over dense, so the choice is a pure function of the
+   block's contents. *)
+let encode_offsets ~wib offs =
+  let card = Array.length offs in
+  if card = 0 then Empty
+  else begin
+    let nruns = count_runs_of_offsets offs in
+    let dense_cost = 8 * wib in
+    let sparse_cost = 2 * card in
+    let run_cost = 4 * nruns in
+    if sparse_cost <= run_cost && sparse_cost <= dense_cost then
+      Sparse (card, pack_offsets offs)
+    else if run_cost < dense_cost then Runs (runs_of_offsets offs nruns)
+    else begin
+      let words = Array.make wib 0 in
+      Array.iter
+        (fun off ->
+          let w = div62 off in
+          words.(w) <- words.(w) lor (1 lsl (off - (w * bpw))))
+        offs;
+      Dense words
+    end
+  end
+
+let block_of_offsets ~wib offs = encode_offsets ~wib offs
+
+(* --- construction --------------------------------------------------- *)
+
+let n_blocks_for n =
+  let n_words = Bitset.words_for n in
+  (n_words + block_words - 1) / block_words
+
+(* Words the block [b] of an [n]-transaction column spans (the last block
+   may be short). *)
+let words_in_block ~n b =
+  min block_words (Bitset.words_for n - (b * block_words))
+
+let of_tids ~n tids =
+  if n < 0 then invalid_arg "Column.of_tids: negative n";
+  Array.iteri
+    (fun i tid ->
+      if tid < 0 || tid >= n then invalid_arg "Column.of_tids: tid out of range";
+      if i > 0 && tids.(i - 1) >= tid then
+        invalid_arg "Column.of_tids: tids not strictly increasing")
+    tids;
+  let blocks = Array.make (n_blocks_for n) Empty in
+  let len = Array.length tids in
+  let i = ref 0 in
+  while !i < len do
+    let b = tids.(!i) / block_bits in
+    let stop = (b + 1) * block_bits in
+    let j = ref !i in
+    while !j < len && tids.(!j) < stop do
+      incr j
+    done;
+    let base = b * block_bits in
+    let offs = Array.init (!j - !i) (fun k -> tids.(!i + k) - base) in
+    blocks.(b) <- encode_offsets ~wib:(words_in_block ~n b) offs;
+    i := !j
+  done;
+  { n; card = len; blocks }
+
+let of_words ~n words =
+  if n < 0 then invalid_arg "Column.of_words: negative n";
+  if Array.length words <> Bitset.words_for n then
+    invalid_arg "Column.of_words: word count mismatch";
+  let blocks =
+    Array.init (n_blocks_for n) (fun b ->
+        let wib = words_in_block ~n b in
+        let offs = ref [] in
+        for w = wib - 1 downto 0 do
+          let base = w * bpw in
+          for bit = bpw - 1 downto 0 do
+            if words.((b * block_words) + w) lsr bit land 1 = 1 then
+              offs := (base + bit) :: !offs
+          done
+        done;
+        encode_offsets ~wib (Array.of_list !offs))
+  in
+  let card =
+    Array.fold_left (fun acc w -> acc + Bitset.popcount w) 0 words
+  in
+  (* Tail bits above [n] must already be zero (the packed invariant). *)
+  (if Array.length words > 0 then
+     let last = Array.length words - 1 in
+     if words.(last) land lnot (Bitset.last_word_mask ~width:n) <> 0 then
+       invalid_arg "Column.of_words: set bits above n");
+  { n; card; blocks }
+
+(* Validating constructor for the on-disk decoder: checks every container
+   invariant (ascending offsets, disjoint ascending non-adjacent runs,
+   in-range values, zero tail bits) and recomputes the cardinality.
+   @raise Invalid_argument on any violation. *)
+let of_blocks ~n blocks =
+  if n < 0 then invalid_arg "Column.of_blocks: negative n";
+  if Array.length blocks <> n_blocks_for n then
+    invalid_arg "Column.of_blocks: block count mismatch";
+  let card = ref 0 in
+  Array.iteri
+    (fun b block ->
+      let wib = words_in_block ~n b in
+      let bits = min block_bits (n - (b * block_bits)) in
+      match block with
+      | Empty -> ()
+      | Dense words ->
+          if Array.length words <> wib then
+            invalid_arg "Column.of_blocks: dense word count mismatch";
+          Array.iteri
+            (fun w v ->
+              if v < 0 || v > full_word then
+                invalid_arg "Column.of_blocks: dense word out of range";
+              let valid =
+                if w = wib - 1 then Bitset.last_word_mask ~width:bits
+                else full_word
+              in
+              if v land lnot valid <> 0 then
+                invalid_arg "Column.of_blocks: dense bits above n";
+              card := !card + Bitset.popcount v)
+            words
+      | Sparse (c, packed) ->
+          if c <= 0 || Array.length packed <> (c + 3) / 4 then
+            invalid_arg "Column.of_blocks: sparse length mismatch";
+          (* bits beyond the last offset in the final packed word must be
+             zero so packed equality is content equality *)
+          if c land 3 <> 0 && packed.(Array.length packed - 1) lsr ((c land 3) * 16) <> 0
+          then invalid_arg "Column.of_blocks: sparse padding not zero";
+          for i = 0 to c - 1 do
+            let off = sparse_get packed i in
+            if off >= bits then
+              invalid_arg "Column.of_blocks: sparse offset out of range";
+            if i > 0 && sparse_get packed (i - 1) >= off then
+              invalid_arg "Column.of_blocks: sparse offsets not increasing"
+          done;
+          card := !card + c
+      | Runs rs ->
+          if Array.length rs = 0 then
+            invalid_arg "Column.of_blocks: empty run container";
+          Array.iteri
+            (fun i v ->
+              let s = run_start v and e = run_stop v in
+              if s >= e || e > bits then
+                invalid_arg "Column.of_blocks: run out of range";
+              if i > 0 && run_stop rs.(i - 1) >= s then
+                invalid_arg "Column.of_blocks: runs not disjoint ascending";
+              card := !card + (e - s))
+            rs)
+    blocks;
+  { n; card = !card; blocks }
+
+(* --- inspection ----------------------------------------------------- *)
+
+type rep = R_empty | R_dense | R_sparse | R_run
+
+let rep t b =
+  match t.blocks.(b) with
+  | Empty -> R_empty
+  | Dense _ -> R_dense
+  | Sparse _ -> R_sparse
+  | Runs _ -> R_run
+
+type stats = {
+  blocks : int;
+  empty : int;
+  dense : int;
+  sparse : int;
+  run : int;
+  bytes : int;
+}
+
+let zero_stats = { blocks = 0; empty = 0; dense = 0; sparse = 0; run = 0; bytes = 0 }
+
+let add_stats acc (t : t) =
+  Array.fold_left
+    (fun acc block ->
+      match block with
+      | Empty -> { acc with blocks = acc.blocks + 1; empty = acc.empty + 1 }
+      | Dense ws ->
+          {
+            acc with
+            blocks = acc.blocks + 1;
+            dense = acc.dense + 1;
+            bytes = acc.bytes + (8 * Array.length ws);
+          }
+      | Sparse (_, packed) ->
+          {
+            acc with
+            blocks = acc.blocks + 1;
+            sparse = acc.sparse + 1;
+            bytes = acc.bytes + (8 * Array.length packed);
+          }
+      | Runs rs ->
+          {
+            acc with
+            blocks = acc.blocks + 1;
+            run = acc.run + 1;
+            bytes = acc.bytes + (8 * Array.length rs);
+          })
+    acc t.blocks
+
+let stats t = add_stats zero_stats t
+
+let mem (t : t) tid =
+  if tid < 0 || tid >= t.n then invalid_arg "Column.mem: tid out of range";
+  let b = tid / block_bits in
+  let off = tid - (b * block_bits) in
+  match t.blocks.(b) with
+  | Empty -> false
+  | Dense ws ->
+      let w = div62 off in
+      ws.(w) lsr (off - (w * bpw)) land 1 = 1
+  | Sparse (card, packed) ->
+      let i = sparse_lower packed card off in
+      i < card && sparse_get packed i = off
+  | Runs rs ->
+      let i = runs_lower rs off in
+      i < Array.length rs && run_start rs.(i) <= off
+
+let iter_tids f (t : t) =
+  Array.iteri
+    (fun b block ->
+      let base = b * block_bits in
+      match block with
+      | Empty -> ()
+      | Dense ws ->
+          Array.iteri
+            (fun w v ->
+              let v = ref v in
+              let wbase = base + (w * bpw) in
+              while !v <> 0 do
+                let bit = !v land (- !v) in
+                f (wbase + Bitset.popcount (bit - 1));
+                v := !v land (!v - 1)
+              done)
+            ws
+      | Sparse (card, packed) ->
+          for i = 0 to card - 1 do
+            f (base + sparse_get packed i)
+          done
+      | Runs rs ->
+          Array.iter
+            (fun r ->
+              for off = run_start r to run_stop r - 1 do
+                f (base + off)
+              done)
+            rs)
+    t.blocks
+
+let to_tids t =
+  let out = Array.make t.card 0 in
+  let k = ref 0 in
+  iter_tids
+    (fun tid ->
+      out.(!k) <- tid;
+      incr k)
+    t;
+  out
+
+let equal (a : t) (b : t) =
+  a.n = b.n && a.card = b.card && a.blocks = b.blocks
+
+(* --- window iteration ----------------------------------------------- *)
+
+(* Walk the blocks intersecting the word window [wlo, whi), handing each
+   its block-relative word sub-range [lo, hi). *)
+let iter_blocks (_ : t) ~wlo ~whi f =
+  if whi > wlo then begin
+    let b0 = wlo / block_words and b1 = (whi - 1) / block_words in
+    for b = b0 to b1 do
+      let base = b * block_words in
+      let lo = max wlo base - base and hi = min whi (base + block_words) - base in
+      f b ~base ~lo ~hi
+    done
+  end
+
+let check_window t ~who ~wlo ~whi =
+  if wlo < 0 || wlo > whi || whi > word_count t then
+    invalid_arg (Printf.sprintf "Column.%s: word window out of range" who)
+
+(* Popcount of a block-local dense word array over the bit range [s, e)
+   (block-relative bits, s < e). *)
+let count_bits_local ws ~s ~e =
+  let fw = div62 s and lw = div62 (e - 1) in
+  if fw = lw then
+    Bitset.popcount (ws.(fw) land word_mask ~lo:(s - (fw * bpw)) ~hi:(e - (fw * bpw)))
+  else begin
+    let acc =
+      ref (Bitset.popcount (ws.(fw) land word_mask ~lo:(s - (fw * bpw)) ~hi:bpw))
+    in
+    for w = fw + 1 to lw - 1 do
+      acc := !acc + Bitset.popcount ws.(w)
+    done;
+    !acc + Bitset.popcount (ws.(lw) land word_mask ~lo:0 ~hi:(e - (lw * bpw)))
+  end
+
+(* --- window kernels -------------------------------------------------- *)
+
+let window_card (t : t) ~wlo ~whi =
+  check_window t ~who:"window_card" ~wlo ~whi;
+  let acc = ref 0 in
+  iter_blocks t ~wlo ~whi (fun b ~base:_ ~lo ~hi ->
+      match t.blocks.(b) with
+      | Empty -> ()
+      | Dense ws ->
+          for w = lo to hi - 1 do
+            acc := !acc + Bitset.popcount ws.(w)
+          done
+      | Sparse (card, packed) ->
+          acc :=
+            !acc
+            + sparse_lower packed card (hi * bpw)
+            - sparse_lower packed card (lo * bpw)
+      | Runs rs ->
+          let lob = lo * bpw and hib = hi * bpw in
+          let nr = Array.length rs in
+          let i = ref (runs_lower rs lob) in
+          let continue = ref true in
+          while !continue && !i < nr do
+            let s = run_start rs.(!i) and e = run_stop rs.(!i) in
+            if s >= hib then continue := false
+            else begin
+              acc := !acc + (min e hib - max s lob);
+              incr i
+            end
+          done);
+  !acc
+
+(* col AND a plain full-width bitmap, cardinality only.  [words] is
+   indexed by global word (the vertical engine's scratch/dense layout). *)
+let and_words_card (t : t) words ~wlo ~whi =
+  check_window t ~who:"and_words_card" ~wlo ~whi;
+  let acc = ref 0 in
+  iter_blocks t ~wlo ~whi (fun b ~base ~lo ~hi ->
+      match t.blocks.(b) with
+      | Empty -> ()
+      | Dense ws ->
+          for w = lo to hi - 1 do
+            acc := !acc + Bitset.popcount (ws.(w) land words.(base + w))
+          done
+      | Sparse (card, packed) ->
+          let i0 = sparse_lower packed card (lo * bpw) in
+          let i1 = sparse_lower packed card (hi * bpw) in
+          if i0 < i1 then begin
+            let r = ref (packed.(i0 lsr 2) lsr ((i0 land 3) lsl 4)) in
+            let i = ref i0 in
+            while !i < i1 do
+              let off = !r land 0xFFFF in
+              let w = div62 off in
+              (* branchless membership: random probes mispredict ~50% *)
+              acc := !acc + (words.(base + w) lsr (off - (w * bpw)) land 1);
+              incr i;
+              if !i < i1 then
+                r := if !i land 3 = 0 then packed.(!i lsr 2) else !r lsr 16
+            done
+          end
+      | Runs rs ->
+          let lob = lo * bpw and hib = hi * bpw in
+          let nr = Array.length rs in
+          let i = ref (runs_lower rs lob) in
+          let continue = ref true in
+          while !continue && !i < nr do
+            let s = run_start rs.(!i) and e = run_stop rs.(!i) in
+            if s >= hib then continue := false
+            else begin
+              let s = max s lob and e = min e hib in
+              (* count the bitmap's bits inside the run, word by word *)
+              let fw = s / bpw and lw = (e - 1) / bpw in
+              if fw = lw then
+                acc :=
+                  !acc
+                  + Bitset.popcount
+                      (words.(base + fw)
+                      land word_mask ~lo:(s - (fw * bpw)) ~hi:(e - (fw * bpw)))
+              else begin
+                acc :=
+                  !acc
+                  + Bitset.popcount
+                      (words.(base + fw)
+                      land word_mask ~lo:(s - (fw * bpw)) ~hi:bpw);
+                for w = fw + 1 to lw - 1 do
+                  acc := !acc + Bitset.popcount words.(base + w)
+                done;
+                acc :=
+                  !acc
+                  + Bitset.popcount
+                      (words.(base + lw) land word_mask ~lo:0 ~hi:(e - (lw * bpw)))
+              end;
+              incr i
+            end
+          done);
+  !acc
+
+(* col AND a plain bitmap, result written into [dst.(wlo..whi-1)] (same
+   global indexing); returns the cardinality. *)
+let and_words_into (t : t) words dst ~wlo ~whi =
+  check_window t ~who:"and_words_into" ~wlo ~whi;
+  let acc = ref 0 in
+  iter_blocks t ~wlo ~whi (fun b ~base ~lo ~hi ->
+      match t.blocks.(b) with
+      | Empty -> Array.fill dst (base + lo) (hi - lo) 0
+      | Dense ws ->
+          for w = lo to hi - 1 do
+            let v = ws.(w) land words.(base + w) in
+            dst.(base + w) <- v;
+            acc := !acc + Bitset.popcount v
+          done
+      | Sparse (card, packed) ->
+          Array.fill dst (base + lo) (hi - lo) 0;
+          let i0 = sparse_lower packed card (lo * bpw) in
+          let i1 = sparse_lower packed card (hi * bpw) in
+          for i = i0 to i1 - 1 do
+            let off = sparse_get packed i in
+            let lw = div62 off in
+            let w = base + lw and bit = 1 lsl (off - (lw * bpw)) in
+            if words.(w) land bit <> 0 then begin
+              dst.(w) <- dst.(w) lor bit;
+              incr acc
+            end
+          done
+      | Runs rs ->
+          Array.fill dst (base + lo) (hi - lo) 0;
+          let lob = lo * bpw and hib = hi * bpw in
+          let nr = Array.length rs in
+          let i = ref (runs_lower rs lob) in
+          let continue = ref true in
+          while !continue && !i < nr do
+            let s = run_start rs.(!i) and e = run_stop rs.(!i) in
+            if s >= hib then continue := false
+            else begin
+              let s = max s lob and e = min e hib in
+              let fw = s / bpw and lw = (e - 1) / bpw in
+              for w = fw to lw do
+                let mlo = if w = fw then s - (w * bpw) else 0 in
+                let mhi = if w = lw then e - (w * bpw) else bpw in
+                let v = words.(base + w) land word_mask ~lo:mlo ~hi:mhi in
+                dst.(base + w) <- dst.(base + w) lor v;
+                acc := !acc + Bitset.popcount v
+              done;
+              incr i
+            end
+          done);
+  !acc
+
+(* Probe the tids [tids.(slo..shi-1)] (strictly increasing) for
+   membership. *)
+let probe_card t tids ~slo ~shi =
+  let acc = ref 0 in
+  for i = slo to shi - 1 do
+    if mem t tids.(i) then incr acc
+  done;
+  !acc
+
+let probe_into t tids ~slo ~shi dst =
+  let len = ref 0 in
+  for i = slo to shi - 1 do
+    let tid = tids.(i) in
+    if mem t tid then begin
+      dst.(!len) <- tid;
+      incr len
+    end
+  done;
+  !len
+
+(* --- col AND col ----------------------------------------------------- *)
+
+(* Cardinality of the intersection of two blocks over the block-relative
+   bit range [lob, hib).  Every pairing stays inside the compressed
+   forms: dense x dense is the word AND, run x run is interval
+   arithmetic, and the probe/merge pairs decode offsets on the fly. *)
+let and_block_card a b ~lob ~hib =
+  match (a, b) with
+  | Empty, _ | _, Empty -> 0
+  | Dense wa, Dense wb ->
+      let acc = ref 0 in
+      for w = div62 lob to div62 hib - 1 do
+        acc := !acc + Bitset.popcount (wa.(w) land wb.(w))
+      done;
+      !acc
+  | Dense ws, Sparse (card, packed) | Sparse (card, packed), Dense ws ->
+      let acc = ref 0 in
+      let i0 = sparse_lower packed card lob in
+      let i1 = sparse_lower packed card hib in
+      if i0 < i1 then begin
+        (* shift-register decode: load each packed word once, pull the
+           next offset out of the low 16 bits *)
+        let r = ref (packed.(i0 lsr 2) lsr ((i0 land 3) lsl 4)) in
+        let i = ref i0 in
+        while !i < i1 do
+          let off = !r land 0xFFFF in
+          let w = div62 off in
+          (* branchless membership: random probes mispredict ~50% *)
+          acc := !acc + (ws.(w) lsr (off - (w * bpw)) land 1);
+          incr i;
+          if !i < i1 then
+            r := if !i land 3 = 0 then packed.(!i lsr 2) else !r lsr 16
+        done
+      end;
+      !acc
+  | Dense ws, Runs rs | Runs rs, Dense ws ->
+      let acc = ref 0 in
+      let nr = Array.length rs in
+      let i = ref (runs_lower rs lob) in
+      let continue = ref true in
+      while !continue && !i < nr do
+        let s = run_start rs.(!i) and e = run_stop rs.(!i) in
+        if s >= hib then continue := false
+        else begin
+          acc := !acc + count_bits_local ws ~s:(max s lob) ~e:(min e hib);
+          incr i
+        end
+      done;
+      !acc
+  | Sparse (ca, pa), Sparse (cb, pb) ->
+      let i0 = sparse_lower pa ca lob and j0 = sparse_lower pb cb lob in
+      let ihi = sparse_lower pa ca hib and jhi = sparse_lower pb cb hib in
+      let acc = ref 0 in
+      if i0 < ihi && j0 < jhi then begin
+        (* merge over shift registers: only the side that advances
+           re-decodes, and a decode is one [lsr 16] except at packed-word
+           boundaries *)
+        let i = ref i0 and j = ref j0 in
+        let ra = ref (pa.(i0 lsr 2) lsr ((i0 land 3) lsl 4)) in
+        let rb = ref (pb.(j0 lsr 2) lsr ((j0 land 3) lsl 4)) in
+        let continue = ref true in
+        while !continue do
+          let x = !ra land 0xFFFF and y = !rb land 0xFFFF in
+          if x < y then begin
+            incr i;
+            if !i >= ihi then continue := false
+            else ra := if !i land 3 = 0 then pa.(!i lsr 2) else !ra lsr 16
+          end
+          else if y < x then begin
+            incr j;
+            if !j >= jhi then continue := false
+            else rb := if !j land 3 = 0 then pb.(!j lsr 2) else !rb lsr 16
+          end
+          else begin
+            incr acc;
+            incr i;
+            incr j;
+            if !i >= ihi || !j >= jhi then continue := false
+            else begin
+              ra := if !i land 3 = 0 then pa.(!i lsr 2) else !ra lsr 16;
+              rb := if !j land 3 = 0 then pb.(!j lsr 2) else !rb lsr 16
+            end
+          end
+        done
+      end;
+      !acc
+  | Sparse (card, packed), Runs rs | Runs rs, Sparse (card, packed) ->
+      let acc = ref 0 in
+      let nr = Array.length rs in
+      let r = ref (runs_lower rs lob) in
+      let i1 = sparse_lower packed card hib in
+      for i = sparse_lower packed card lob to i1 - 1 do
+        let off = sparse_get packed i in
+        while !r < nr && run_stop rs.(!r) <= off do
+          incr r
+        done;
+        if !r < nr && run_start rs.(!r) <= off then incr acc
+      done;
+      !acc
+  | Runs ra, Runs rb ->
+      let na = Array.length ra and nb = Array.length rb in
+      let i = ref (runs_lower ra lob) and j = ref (runs_lower rb lob) in
+      let acc = ref 0 in
+      let continue = ref true in
+      while !continue && !i < na && !j < nb do
+        let sa = max lob (run_start ra.(!i)) and ea = min hib (run_stop ra.(!i)) in
+        let sb = max lob (run_start rb.(!j)) and eb = min hib (run_stop rb.(!j)) in
+        if sa >= hib || sb >= hib then continue := false
+        else begin
+          let overlap = min ea eb - max sa sb in
+          if overlap > 0 then acc := !acc + overlap;
+          if ea <= eb then incr i else incr j
+        end
+      done;
+      !acc
+
+let and_col_card (a : t) (b : t) ~wlo ~whi =
+  check_window a ~who:"and_col_card" ~wlo ~whi;
+  if a.n <> b.n then invalid_arg "Column.and_col_card: length mismatch";
+  let acc = ref 0 in
+  iter_blocks a ~wlo ~whi (fun bk ~base:_ ~lo ~hi ->
+      acc :=
+        !acc
+        + and_block_card a.blocks.(bk) b.blocks.(bk) ~lob:(lo * bpw)
+            ~hib:(hi * bpw));
+  !acc
+
+(* Expand the column's window into [dst] (a plain full-width bitmap):
+   every word of [dst.(wlo..whi-1)] is written. *)
+let write_into (t : t) dst ~wlo ~whi =
+  check_window t ~who:"write_into" ~wlo ~whi;
+  iter_blocks t ~wlo ~whi (fun b ~base ~lo ~hi ->
+      match t.blocks.(b) with
+      | Empty -> Array.fill dst (base + lo) (hi - lo) 0
+      | Dense ws -> Array.blit ws lo dst (base + lo) (hi - lo)
+      | Sparse (card, packed) ->
+          Array.fill dst (base + lo) (hi - lo) 0;
+          let i1 = sparse_lower packed card (hi * bpw) in
+          for i = sparse_lower packed card (lo * bpw) to i1 - 1 do
+            let off = sparse_get packed i in
+            let w = base + div62 off in
+            dst.(w) <- dst.(w) lor (1 lsl (off - ((w - base) * bpw)))
+          done
+      | Runs rs ->
+          Array.fill dst (base + lo) (hi - lo) 0;
+          let lob = lo * bpw and hib = hi * bpw in
+          let nr = Array.length rs in
+          let i = ref (runs_lower rs lob) in
+          let continue = ref true in
+          while !continue && !i < nr do
+            let s = run_start rs.(!i) and e = run_stop rs.(!i) in
+            if s >= hib then continue := false
+            else begin
+              let s = max s lob and e = min e hib in
+              let fw = s / bpw and lw = (e - 1) / bpw in
+              for w = fw to lw do
+                let mlo = if w = fw then s - (w * bpw) else 0 in
+                let mhi = if w = lw then e - (w * bpw) else bpw in
+                dst.(base + w) <- dst.(base + w) lor word_mask ~lo:mlo ~hi:mhi
+              done;
+              incr i
+            end
+          done)
+
+let to_words t =
+  let nw = word_count t in
+  let out = Array.make nw 0 in
+  write_into t out ~wlo:0 ~whi:nw;
+  out
+
+(* AND the column into [dst] in place over the window: dst := dst land
+   col.  Used to intersect a second column into a freshly expanded
+   one. *)
+let and_into_words (t : t) dst ~wlo ~whi =
+  check_window t ~who:"and_into_words" ~wlo ~whi;
+  iter_blocks t ~wlo ~whi (fun b ~base ~lo ~hi ->
+      match t.blocks.(b) with
+      | Empty -> Array.fill dst (base + lo) (hi - lo) 0
+      | Dense ws ->
+          for w = lo to hi - 1 do
+            dst.(base + w) <- dst.(base + w) land ws.(w)
+          done
+      | Sparse (card, packed) ->
+          (* walk the offsets once, building each word's mask *)
+          let p = ref (sparse_lower packed card (lo * bpw)) in
+          for w = lo to hi - 1 do
+            let wb = w * bpw in
+            let we = wb + bpw in
+            let m = ref 0 in
+            let continue = ref true in
+            while !continue && !p < card do
+              let off = sparse_get packed !p in
+              if off < we then begin
+                m := !m lor (1 lsl (off - wb));
+                incr p
+              end
+              else continue := false
+            done;
+            dst.(base + w) <- dst.(base + w) land !m
+          done
+      | Runs rs ->
+          let nr = Array.length rs in
+          let p = ref (runs_lower rs (lo * bpw)) in
+          for w = lo to hi - 1 do
+            let wb = w * bpw and we = (w + 1) * bpw in
+            let m = ref 0 in
+            let q = ref !p in
+            let continue = ref true in
+            while !continue && !q < nr do
+              let s = run_start rs.(!q) and e = run_stop rs.(!q) in
+              if s >= we then continue := false
+              else begin
+                if e > wb then
+                  m := !m lor word_mask ~lo:(max s wb - wb) ~hi:(min e we - wb);
+                if e <= we then incr q else continue := false
+              end
+            done;
+            p := !q;
+            dst.(base + w) <- dst.(base + w) land !m
+          done)
+
+(* a AND b over the window, written into [dst.(wlo..whi-1)]; returns the
+   cardinality.  The containers themselves stay compressed — only the
+   result materializes, and only into the caller's buffer. *)
+let and_col_into (a : t) (b : t) dst ~wlo ~whi =
+  if a.n <> b.n then invalid_arg "Column.and_col_into: length mismatch";
+  write_into a dst ~wlo ~whi;
+  and_into_words b dst ~wlo ~whi;
+  let acc = ref 0 in
+  for w = wlo to whi - 1 do
+    acc := !acc + Bitset.popcount dst.(w)
+  done;
+  !acc

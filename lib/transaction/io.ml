@@ -64,6 +64,16 @@ let parse_transaction ~universe line =
   in
   Itemset.of_list items
 
+(* A corrupted header with too small a count would otherwise silently
+   drop the tail of the file; only trailing blank lines are tolerated. *)
+let rec check_trailing ic =
+  match input_line ic with
+  | line ->
+      if String.trim line <> "" then
+        failwith "Io.read: trailing content after the declared transactions";
+      check_trailing ic
+  | exception End_of_file -> ()
+
 let read_channel ic =
   let header =
     try input_line ic with End_of_file -> failwith "Io.read: empty input"
@@ -77,17 +87,7 @@ let read_channel ic =
         in
         parse_transaction ~universe line)
   in
-  (* A corrupted header with too small a count would otherwise silently
-     drop the tail of the file; only trailing blank lines are tolerated. *)
-  let rec check_trailing () =
-    match input_line ic with
-    | line ->
-        if String.trim line <> "" then
-          failwith "Io.read: trailing content after the declared transactions";
-        check_trailing ()
-    | exception End_of_file -> ()
-  in
-  check_trailing ();
+  check_trailing ic;
   Db.create ~universe transactions
 
 let read_file path =
@@ -112,6 +112,45 @@ let write_fimi path db =
           output_char oc '\n')
         db)
 
+exception Item_out_of_universe of { item : int; universe : int }
+
+let () =
+  Printexc.register_printer (function
+    | Item_out_of_universe { item; universe } ->
+        Some
+          (Printf.sprintf "Io.Item_out_of_universe (item %d, universe %d)" item
+             universe)
+    | _ -> None)
+
+(* One FIMI line: space-separated non-negative item ids.  When a universe
+   is known the check happens per item, so an out-of-range id surfaces as
+   the typed error the moment it streams past — never silently folded
+   into a too-small universe, and never deferred to the end of the
+   file. *)
+let parse_fimi_line ?universe line =
+  let tokens =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  let max_item = ref (-1) in
+  let items =
+    List.map
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some x when x >= 0 ->
+            (match universe with
+            | Some u when x >= u ->
+                raise (Item_out_of_universe { item = x; universe = u })
+            | _ -> ());
+            if x > !max_item then max_item := x;
+            x
+        | _ -> failwith (Printf.sprintf "Io.read_fimi: bad item %S" tok))
+      tokens
+  in
+  (Itemset.of_list items, !max_item)
+
+let resolve_universe ~declared ~max_item =
+  match declared with Some u -> u | None -> max 1 (max_item + 1)
+
 let read_fimi ?universe path =
   let ic = open_in path in
   Fun.protect
@@ -121,31 +160,76 @@ let read_fimi ?universe path =
       let max_item = ref (-1) in
       (try
          while true do
-           let line = input_line ic in
-           let tokens =
-             List.filter (fun s -> s <> "")
-               (String.split_on_char ' ' (String.trim line))
-           in
-           let items =
-             List.map
-               (fun tok ->
-                 match int_of_string_opt tok with
-                 | Some x when x >= 0 ->
-                     if x > !max_item then max_item := x;
-                     x
-                 | _ -> failwith (Printf.sprintf "Io.read_fimi: bad item %S" tok))
-               tokens
-           in
-           transactions := Itemset.of_list items :: !transactions
+           let tx, m = parse_fimi_line ?universe (input_line ic) in
+           if m > !max_item then max_item := m;
+           transactions := tx :: !transactions
          done
        with End_of_file -> ());
-      let inferred = max 1 (!max_item + 1) in
-      let universe =
-        match universe with
-        | None -> inferred
-        | Some u ->
-            if u < inferred then
-              failwith "Io.read_fimi: item outside the declared universe";
-            u
-      in
-      Db.create ~universe (Array.of_list (List.rev !transactions)))
+      Db.create
+        ~universe:(resolve_universe ~declared:universe ~max_item:!max_item)
+        (Array.of_list (List.rev !transactions)))
+
+(* --------------------------------------- streaming one-pass folding *)
+
+type stream_info = { universe : int; transactions : int }
+
+(* Sniff by the first line: the header format's first token is
+   ["universe"], which can never begin a valid FIMI line (FIMI lines are
+   integers only).  Header mode enforces the declared count exactly as
+   {!read_channel}; FIMI mode streams to end of file. *)
+let fold_transactions ?universe path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match input_line ic with
+      | exception End_of_file ->
+          let universe = resolve_universe ~declared:universe ~max_item:(-1) in
+          (init, { universe; transactions = 0 })
+      | first ->
+          let is_header =
+            match String.split_on_char ' ' (String.trim first) with
+            | "universe" :: _ -> true
+            | _ -> false
+          in
+          if is_header then begin
+            let declared, count = parse_header first in
+            (match universe with
+            | Some u when u <> declared ->
+                failwith
+                  "Io.fold_transactions: universe override disagrees with the \
+                   header"
+            | _ -> ());
+            let acc = ref init in
+            for _ = 1 to count do
+              let line =
+                try input_line ic
+                with End_of_file ->
+                  failwith "Io.read: fewer transactions than declared"
+              in
+              acc := f !acc (parse_transaction ~universe:declared line)
+            done;
+            check_trailing ic;
+            (!acc, { universe = declared; transactions = count })
+          end
+          else begin
+            let acc = ref init in
+            let max_item = ref (-1) in
+            let count = ref 0 in
+            let handle line =
+              let tx, m = parse_fimi_line ?universe line in
+              if m > !max_item then max_item := m;
+              incr count;
+              acc := f !acc tx
+            in
+            handle first;
+            (try
+               while true do
+                 handle (input_line ic)
+               done
+             with End_of_file -> ());
+            let universe =
+              resolve_universe ~declared:universe ~max_item:!max_item
+            in
+            (!acc, { universe; transactions = !count })
+          end)

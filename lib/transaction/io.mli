@@ -27,10 +27,36 @@ val read_file : string -> Db.t
 
 val write_fimi : string -> Db.t -> unit
 
+exception Item_out_of_universe of { item : int; universe : int }
+(** A FIMI stream carried an item id at or above the declared universe.
+    Typed (unlike the [Failure]-based parse errors) because callers that
+    stream untrusted data — `ppdm convert`, the columnar transpose —
+    need to distinguish "this database does not fit the declared shape"
+    from a syntax error. *)
+
 val read_fimi : ?universe:int -> string -> Db.t
-(** @raise Failure on non-integer tokens or (when [universe] is given)
-    items outside it.  An empty file yields an empty database over a
-    1-item universe. *)
+(** @raise Failure on non-integer tokens.
+    @raise Item_out_of_universe the moment an item at or above an
+    explicitly given [universe] is read — an out-of-range item is never
+    silently folded into a too-small universe.  An empty file yields an
+    empty database over a 1-item universe. *)
+
+type stream_info = { universe : int; transactions : int }
+
+val fold_transactions :
+  ?universe:int -> string -> init:'a -> f:('a -> Itemset.t -> 'a) -> 'a * stream_info
+(** Stream a transaction file through [f] one line at a time — the
+    source database is never resident, which is what lets the columnar
+    converter transpose files larger than RAM.  The format is sniffed
+    from the first line: a line whose first token is ["universe"] selects
+    the header format (declared universe and count enforced exactly as
+    {!read_channel}); anything else is FIMI.  Returns the fold result
+    plus the resolved universe (declared, overridden, or inferred as
+    max item + 1) and the number of transactions folded.
+    @raise Failure as {!read_channel}/{!read_fimi}, or if a [universe]
+    override disagrees with a header's declared universe.
+    @raise Item_out_of_universe as {!read_fimi} (FIMI mode only; header
+    mode keeps its documented [Failure]). *)
 
 (** {1 Deterministic fault injection (testing)}
 

@@ -138,7 +138,9 @@ let test_fimi_roundtrip () =
       let wide = Io.read_fimi ~universe:50 path in
       Alcotest.(check int) "override universe" 50 (Db.universe wide);
       match Io.read_fimi ~universe:3 path with
-      | exception Failure _ -> ()
+      | exception Io.Item_out_of_universe { item = 3; universe = 3 } -> ()
+      | exception Io.Item_out_of_universe _ ->
+          Alcotest.fail "wrong item/universe in the typed error"
       | _ -> Alcotest.fail "undersized universe accepted")
 
 let test_fimi_malformed () =
